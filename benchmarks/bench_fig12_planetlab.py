@@ -1,0 +1,50 @@
+"""Figure 12 — network latency reported on PlanetLab (400 hosts).
+
+The paper plots all measured host-pair latencies: (a) the full range up
+to 10 s showing a heavy tail of pathological pairs; (b) the sub-second
+zoom where the bulk lives. PlanetLab is gone, so we generate a synthetic
+matrix with the same structure (see repro.scenarios.planetlab) and
+report the distribution the scatter plots convey.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import ShapeCheck, render_table
+from repro.scenarios.planetlab import planetlab_latency_matrix
+
+N_HOSTS = 400
+
+
+def run_experiment():
+    lm = planetlab_latency_matrix(N_HOSTS, seed=12)
+    m = lm.m
+    iu = np.triu_indices(N_HOSTS, k=1)
+    pairs = m[iu]
+    return pairs
+
+
+def test_fig12_planetlab(run_once, emit):
+    pairs = run_once(run_experiment)
+    ms = pairs * 1000
+    pcts = [1, 5, 25, 50, 75, 90, 99, 99.9]
+    rows = [(f"p{p}", round(float(np.percentile(ms, p)), 2)) for p in pcts]
+    rows.append(("max", round(float(ms.max()), 1)))
+    emit(render_table(
+        f"Figure 12 - latency distribution over {len(ms):,} PlanetLab-like "
+        "host pairs (ms)", ["percentile", "RTT (ms)"], rows))
+    buckets = [(0, 1), (1, 10), (10, 100), (100, 1000), (1000, 10001)]
+    hist = [(f"{a}-{b}ms", int(((ms >= a) & (ms < b)).sum())) for a, b in buckets]
+    emit(render_table("Figure 12 - pair counts by latency bucket",
+                      ["bucket", "pairs"], hist))
+    check = ShapeCheck("Fig 12")
+    check.expect("~80,000 measured pairs (paper: half of 159,600)",
+                 70_000 <= len(ms) <= 90_000, f"{len(ms):,}")
+    check.expect("heavy tail reaches seconds (Fig 12a)", ms.max() > 1000,
+                 f"max {ms.max():.0f} ms")
+    check.expect("bulk is sub-second (Fig 12b)",
+                 float(np.percentile(ms, 90)) < 1000)
+    check.expect("local pairs exist (< 5 ms)", float(ms.min()) < 5)
+    check.expect("median in the WAN range 20-400 ms",
+                 20 < float(np.median(ms)) < 400, f"{np.median(ms):.0f}")
+    emit(check.render())
+    check.print_and_assert()

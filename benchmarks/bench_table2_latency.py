@@ -1,0 +1,63 @@
+"""Table II — network latency by ICMP request/response.
+
+Paper rows (mean RTT, ms):
+
+    pair       Physical   WAVNet   IPOP
+    HKU-SIAT   74.244     74.207   74.596
+    HKU-PU     30.233     30.753   31.187
+    SIAT-PU    219.427    219.783  220.533
+
+Shape to preserve: all three stacks within a fraction of a millisecond
+of each other on WAN paths (packet-handling overhead amortized by
+propagation delay), with the virtual stacks adding a small positive
+overhead and IPOP >= WAVNet.
+"""
+
+from repro.analysis.tables import ShapeCheck, render_table
+from repro.apps.ping import Pinger
+from repro.scenarios.sites import pair_rtt_ms
+
+from stacks import ipop_pair, physical_pair, wavnet_pair
+
+PAIRS = [("hku1", "siat"), ("hku1", "pu"), ("siat", "pu")]
+BANDWIDTH = 50e6
+PROBES = 12
+
+
+def ping_mean_ms(pair, n_warmup=2):
+    pinger = Pinger(pair.host_a.stack, pair.ip_b, interval=0.5, timeout=5.0)
+    proc = pair.sim.process(pinger.run(PROBES))
+    pair.sim.run(until=proc)
+    rtts = proc.value.rtts[n_warmup:]
+    assert rtts, "ping produced no replies"
+    return sum(rtts) / len(rtts) * 1000.0
+
+
+def run_experiment():
+    rows = []
+    for a, b in PAIRS:
+        rtt = pair_rtt_ms(a, b) / 1000.0
+        phys = ping_mean_ms(physical_pair(rtt, BANDWIDTH, seed=1))
+        wav = ping_mean_ms(wavnet_pair(rtt, BANDWIDTH, seed=2))
+        ipop = ping_mean_ms(ipop_pair(rtt, BANDWIDTH, seed=3))
+        rows.append((f"{a.upper()}-{b.upper()}", phys, wav, ipop))
+    return rows
+
+
+def test_table2_latency(run_once, emit):
+    rows = run_once(run_experiment)
+    emit(render_table(
+        "Table II - network latency by ICMP request/response (mean RTT, ms)",
+        ["sites", "Physical", "WAVNet", "IPOP"], rows))
+    check = ShapeCheck("Table II")
+    for name, phys, wav, ipop in rows:
+        # Paper's own worst case is IPOP on HKU-PU: +3.2% over physical.
+        check.expect(f"{name}: WAVNet within 4% of physical",
+                     wav <= phys * 1.04, f"{wav:.2f} vs {phys:.2f}")
+        check.expect(f"{name}: IPOP within 5% of physical",
+                     ipop <= phys * 1.05, f"{ipop:.2f} vs {phys:.2f}")
+        check.expect(f"{name}: overheads ordered phys <= wavnet <= ipop",
+                     phys <= wav + 0.05 and wav <= ipop + 0.05,
+                     f"{phys:.2f} / {wav:.2f} / {ipop:.2f}")
+    emit(check.render())
+    check.print_and_assert()

@@ -1,0 +1,89 @@
+"""Table IV — HTTP throughput before/after VM migration.
+
+Same setup as Table III; ApacheBench measures requests/second for 1K,
+8K, and 64K files. Paper rows (req/s):
+
+    client->VM             bw(Mbps)   1K     8K     64K
+    Sinica->VM@SIAT        18.05      432.9  215.1  45.7
+    Sinica->VM@HKU2        21.69      583.3  332.3  53.9
+    HKU1->VM@SIAT          18.6       473.1  288.9  56.9
+    HKU1->VM@HKU2          79.15      775.5  461.8  128.2
+
+Shape: throughput rises after migration for every file size, most
+dramatically for the HKU1 client whose post-migration path is local.
+"""
+
+from repro.analysis.tables import ShapeCheck, render_table
+from repro.apps.ab import ApacheBench
+from repro.apps.httpd import HttpServer
+from repro.net.addresses import IPv4Address
+from repro.scenarios.sites import build_real_wan
+from repro.sim import Simulator
+from repro.vm.dirty import HotColdDirtyModel
+from repro.vm.hypervisor import Hypervisor
+
+VM_IP = IPv4Address("10.99.1.1")
+FILES = ("/file1k", "/file8k", "/file64k")
+DURATION = 8.0
+CONCURRENCY = 8
+
+
+def run_experiment():
+    sim = Simulator(seed=71)
+    wan = build_real_wan(sim, site_names=["hku1", "hku2", "siat", "sinica"],
+                         tcp_mss=1460)
+    sim.run(until=sim.process(wan.env.start_all()))
+    sim.run(until=sim.process(wan.env.connect_full_mesh()))
+    vmms = {name: Hypervisor(wh.host, wh.driver.attach_port)
+            for name, wh in wan.hosts.items()}
+    vm = vmms["siat"].create_vm("webvm", memory_mb=48,
+                                dirty_model=HotColdDirtyModel(hot_fraction=0.01))
+    vm.configure_network(VM_IP, "10.99.0.0/16")
+    HttpServer(vm.guest)
+    sim.run(until=sim.timeout(3.0))
+
+    def measure(client_name):
+        rates = []
+        for path in FILES:
+            ab = ApacheBench(wan.host(client_name).host, VM_IP, path=path,
+                             concurrency=CONCURRENCY)
+            proc = sim.process(ab.run_for(DURATION))
+            sim.run(until=proc)
+            rates.append(proc.value.requests_per_second)
+        return rates
+
+    results = {}
+    for client in ("sinica", "hku1"):
+        results[(client, "siat")] = measure(client)
+    mig = sim.process(vmms["siat"].migrate(vm, vmms["hku2"],
+                                           wan.host("hku2").virtual_ip))
+    sim.run(until=mig)
+    for client in ("sinica", "hku1"):
+        results[(client, "hku2")] = measure(client)
+    return results
+
+
+def test_table4_http_thp(run_once, emit):
+    results = run_once(run_experiment)
+    rows = [(f"{c} to VM@{loc}",) + tuple(round(r, 1) for r in rates)
+            for (c, loc), rates in results.items()]
+    emit(render_table(
+        "Table IV - HTTP throughput before/after VM migration (req/s, ab -c 8)",
+        ["client and VM location", "1K", "8K", "64K"], rows))
+    check = ShapeCheck("Table IV")
+    for client in ("sinica", "hku1"):
+        before = results[(client, "siat")]
+        after = results[(client, "hku2")]
+        for i, size in enumerate(("1K", "8K", "64K")):
+            check.expect(f"{client} {size}: throughput improves after migration",
+                         after[i] > before[i],
+                         f"{before[i]:.0f} -> {after[i]:.0f} req/s")
+        check.expect(f"{client}: smaller files yield more req/s",
+                     after[0] > after[1] > after[2])
+    # HKU1 gains the most (its post-migration path is campus-local).
+    gain_hku = results[("hku1", "hku2")][2] / results[("hku1", "siat")][2]
+    gain_sin = results[("sinica", "hku2")][2] / results[("sinica", "siat")][2]
+    check.expect("HKU1's 64K gain exceeds Sinica's", gain_hku > gain_sin,
+                 f"{gain_hku:.2f}x vs {gain_sin:.2f}x")
+    emit(check.render())
+    check.print_and_assert()

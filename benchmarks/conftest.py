@@ -1,0 +1,47 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper: it
+runs the experiment once under ``benchmark.pedantic`` (simulations are
+deterministic — repetition adds nothing), prints the same rows/series
+the paper reports, saves them under ``benchmarks/out/``, and asserts the
+paper's comparative *shape* claims via :class:`ShapeCheck`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a deterministic experiment exactly once under the benchmark
+    timer and hand back its return value."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run
+
+
+@pytest.fixture
+def emit(request):
+    """Print a rendered result block and persist it to benchmarks/out/."""
+
+    def _emit(text: str) -> None:
+        name = request.node.name
+        print(f"\n{text}\n")
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        with open(path, "a") as fh:
+            fh.write(text + "\n")
+
+    # Truncate this test's output file at the start of the run.
+    name = request.node.name
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text("")
+    return _emit

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""NAT traversal tour: STUN classification and hole punching, NAT by NAT.
+
+Walks through the connection-layer machinery of §II.B: for every pair
+of NAT behaviours, a fresh two-site WAN is built, both drivers classify
+their NATs via STUN, and a punch is attempted — printing which
+combinations succeed (cone types) and which cannot (symmetric pairs),
+plus what the 2-byte CONNECT_PULSE keepalive costs an idle tunnel.
+
+Run:  python examples/nat_traversal_tour.py
+"""
+
+from repro import Simulator, WavnetEnvironment
+
+NAT_TYPES = ["full-cone", "restricted-cone", "port-restricted", "symmetric"]
+
+
+def try_pair(nat_a: str, nat_b: str):
+    sim = Simulator(seed=5)
+    env = WavnetEnvironment(sim, default_latency=0.020)
+    env.add_host("a", nat_type=nat_a, punch_timeout=4.0)
+    env.add_host("b", nat_type=nat_b, punch_timeout=4.0)
+    sim.run(until=sim.process(env.start_all()))
+
+    def attempt(sim):
+        try:
+            conn = yield sim.process(env.connect_pair("a", "b"))
+            return conn
+        except TimeoutError:
+            return None
+
+    conn = sim.run(until=sim.process(attempt(sim)))
+    return sim, env, conn
+
+
+def main() -> None:
+    print("== hole punching matrix (rows: A's NAT, cols: B's NAT)")
+    header = "".join(f"{n[:9]:>11}" for n in NAT_TYPES)
+    print(f"{'':>16}{header}")
+    for nat_a in NAT_TYPES:
+        cells = []
+        for nat_b in NAT_TYPES:
+            _sim, _env, conn = try_pair(nat_a, nat_b)
+            if conn is None:
+                cells.append("FAIL")
+            elif conn.relayed:
+                cells.append("relay")
+            else:
+                cells.append("punched")
+        print(f"{nat_a:>16}" + "".join(f"{c:>11}" for c in cells))
+    print("   (symmetric<->symmetric cannot punch — the paper's supported-NAT"
+          " boundary; this reproduction adds a rendezvous-relay fallback)")
+
+    print("== keepalive cost on an idle port-restricted tunnel")
+    sim, env, conn = try_pair("port-restricted", "port-restricted")
+    t0, sent0 = sim.now, conn.bytes_sent
+    sim.run(until=t0 + 300)
+    rate = (conn.bytes_sent - sent0) / (sim.now - t0)
+    print(f"   {rate:.1f} B/s of CONNECT_PULSE payload keeps the NAT "
+          f"binding alive ({conn.pulses_received} pulses received in 5 min)")
+    print("== tunnel still usable after 5 idle minutes:",
+          "yes" if conn.usable else "no")
+
+
+if __name__ == "__main__":
+    main()

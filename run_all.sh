@@ -1,0 +1,6 @@
+#!/bin/sh
+# Full verification: every test, then every table/figure benchmark.
+# Outputs land in test_output.txt / bench_output.txt and benchmarks/out/.
+set -x
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt

@@ -1,0 +1,54 @@
+"""WAVNet reproduction: wide-area network virtualization for virtual
+private clouds (Xu, Di, Zhang, Cheng, Wang — ICPP 2011), rebuilt as a
+Python library on a deterministic discrete-event network simulator.
+
+Quickstart::
+
+    from repro import Simulator, WavnetEnvironment
+
+    sim = Simulator(seed=1)
+    env = WavnetEnvironment(sim)
+    env.add_host("alice", nat_type="port-restricted")
+    env.add_host("bob", nat_type="full-cone")
+    sim.run(until=sim.process(env.start_all()))
+    sim.run(until=sim.process(env.connect_pair("alice", "bob")))
+    # alice and bob now share a layer-2 virtual LAN across their NATs.
+
+Package map: :mod:`repro.sim` (event kernel), :mod:`repro.net` (network
+substrate), :mod:`repro.nat` / :mod:`repro.stun` (NAT traversal),
+:mod:`repro.overlay` (CAN rendezvous layer), :mod:`repro.core` (WAVNet
+itself), :mod:`repro.vm` (live migration), :mod:`repro.baselines`
+(IPOP comparator), :mod:`repro.apps` (workloads), and
+:mod:`repro.scenarios` (the paper's testbeds).
+"""
+
+from repro.core.driver import WavnetDriver
+from repro.core.grouping import (
+    brute_force_group,
+    greedy_group,
+    locality_sensitive_group,
+    random_group,
+)
+from repro.core.latency import LatencyMatrix
+from repro.nat.types import NatType
+from repro.scenarios.wavnet_env import WavnetEnvironment
+from repro.sim.engine import Simulator
+from repro.vm.hypervisor import Hypervisor
+from repro.vm.machine import VirtualMachine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Hypervisor",
+    "LatencyMatrix",
+    "NatType",
+    "Simulator",
+    "VirtualMachine",
+    "WavnetDriver",
+    "WavnetEnvironment",
+    "brute_force_group",
+    "greedy_group",
+    "locality_sensitive_group",
+    "random_group",
+    "__version__",
+]

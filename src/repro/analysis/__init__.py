@@ -1,0 +1,5 @@
+"""Result rendering and shape checks for the benchmark harness."""
+
+from repro.analysis.tables import ShapeCheck, render_series, render_table
+
+__all__ = ["ShapeCheck", "render_series", "render_table"]

@@ -1,0 +1,81 @@
+"""ASCII tables, figure-shaped series dumps, and PASS/FAIL shape checks.
+
+Every benchmark prints (a) the same rows/series the paper's table or
+figure reports and (b) explicit shape checks — the comparative claims
+("WAVNet ≥ IPOP here", "flat in cluster size", "crossover near X") that
+the reproduction is supposed to preserve.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["ShapeCheck", "render_series", "render_table"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, sep, line(headers), sep]
+    out.extend(line(r) for r in str_rows)
+    out.append(sep)
+    return "\n".join(out)
+
+
+def render_series(title: str, x_label: str, xs, series: dict) -> str:
+    """Figure-shaped output: one row per x, one column per curve."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(title, headers, rows)
+
+
+class ShapeCheck:
+    """Collects named pass/fail assertions about result *shape*."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self.results: list[tuple[str, bool, str]] = []
+
+    def expect(self, name: str, condition: bool, detail: str = "") -> bool:
+        self.results.append((name, bool(condition), detail))
+        return bool(condition)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(ok for _n, ok, _d in self.results)
+
+    def render(self) -> str:
+        out = [f"shape checks [{self.experiment}]"]
+        for name, ok, detail in self.results:
+            mark = "PASS" if ok else "FAIL"
+            suffix = f"  ({detail})" if detail else ""
+            out.append(f"  [{mark}] {name}{suffix}")
+        return "\n".join(out)
+
+    def print_and_assert(self) -> None:
+        print(self.render())
+        failed = [n for n, ok, _d in self.results if not ok]
+        assert not failed, f"{self.experiment}: shape checks failed: {failed}"

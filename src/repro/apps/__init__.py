@@ -1,0 +1,31 @@
+"""Workload generators matching the paper's measurement tools.
+
+* :mod:`repro.apps.ping`    — ICMP RTT/loss probing (re-export).
+* :mod:`repro.apps.ttcp`    — fixed-size bulk TCP transfer (Fig 6).
+* :mod:`repro.apps.netperf` — TCP_STREAM with interim results (Figs 7-9).
+* :mod:`repro.apps.httpd`   — minimal HTTP server for VMs.
+* :mod:`repro.apps.ab`      — ApacheBench-style closed-loop client
+  (Tables III-IV, Fig 10).
+* :mod:`repro.apps.mpi`     — message-passing runtime + heat-distribution
+  Jacobi and NAS-style EP/FT kernels (Figs 11, 14).
+"""
+
+from repro.apps.ab import ApacheBench, AbReport
+from repro.apps.httpd import HttpServer
+from repro.apps.netperf import NetperfResult, netperf_stream, netserver
+from repro.apps.ping import Pinger, PingResult
+from repro.apps.ttcp import TtcpResult, ttcp_receiver, ttcp_transfer
+
+__all__ = [
+    "AbReport",
+    "ApacheBench",
+    "HttpServer",
+    "NetperfResult",
+    "Pinger",
+    "PingResult",
+    "TtcpResult",
+    "netperf_stream",
+    "netserver",
+    "ttcp_receiver",
+    "ttcp_transfer",
+]

@@ -1,0 +1,160 @@
+"""ApacheBench (ab) model: closed-loop HTTP load with concurrency.
+
+``ab -c C`` keeps C workers busy, each doing connect -> request ->
+response -> close, repeatedly. We report exactly what the paper reads
+off ab's output:
+
+* requests/second (Table IV, Fig 10's AB-throughput timeline);
+* connection time min/mean/max in ms (Table III).
+
+Workers label every sample with its completion time so the timeline
+figures can resample request throughput in 1-second buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.httpd import HTTP_PORT, HttpRequest, HttpResponse
+from repro.net.addresses import IPv4Address
+from repro.net.stack import Host
+from repro.net.tcp import ConnectionReset
+
+__all__ = ["AbReport", "ApacheBench"]
+
+
+@dataclass
+class AbReport:
+    requests_completed: int = 0
+    requests_failed: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    connect_times: list = field(default_factory=list)   # seconds
+    total_times: list = field(default_factory=list)     # request round trip
+    completion_stamps: list = field(default_factory=list)  # sim time per completion
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests_completed / self.duration if self.duration > 0 else 0.0
+
+    def connect_ms(self) -> tuple[float, float, float]:
+        """(min, mean, max) connection time in milliseconds."""
+        if not self.connect_times:
+            return (float("nan"),) * 3
+        arr = np.asarray(self.connect_times) * 1000.0
+        return (float(arr.min()), float(arr.mean()), float(arr.max()))
+
+    def throughput_series(self, interval: float = 1.0) -> "tuple[np.ndarray, np.ndarray]":
+        """(bucket start times, req/s per bucket) for timeline figures."""
+        if not self.completion_stamps:
+            return np.empty(0), np.empty(0)
+        stamps = np.asarray(self.completion_stamps)
+        edges = np.arange(self.started_at, self.finished_at + interval, interval)
+        if edges.size < 2:
+            return np.empty(0), np.empty(0)
+        counts, _ = np.histogram(stamps, bins=edges)
+        return edges[:-1], counts / interval
+
+
+class ApacheBench:
+    """Closed-loop HTTP benchmark client."""
+
+    def __init__(self, host: Host, server_ip: IPv4Address, path: str = "/file1k",
+                 concurrency: int = 1, port: int = HTTP_PORT,
+                 connect_timeout: float = 10.0) -> None:
+        self.host = host
+        self.server_ip = server_ip
+        self.path = path
+        self.concurrency = concurrency
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.report = AbReport()
+        self._stop = False
+
+    def run_for(self, duration: float):
+        """Process: run C workers for ``duration`` seconds; returns AbReport."""
+        sim = self.host.sim
+        self.report.started_at = sim.now
+        workers = [sim.process(self._worker(), name=f"ab:{self.host.name}:{i}")
+                   for i in range(self.concurrency)]
+        yield sim.timeout(duration)
+        self._stop = True
+        for w in workers:
+            if w.is_alive:
+                w.interrupt("ab done")
+        self.report.finished_at = sim.now
+        return self.report
+
+    def run_requests(self, count: int):
+        """Process: run until ``count`` requests complete (ab -n style)."""
+        sim = self.host.sim
+        self.report.started_at = sim.now
+        self._target = count
+        workers = [sim.process(self._worker(limit=True), name=f"ab:{self.host.name}:{i}")
+                   for i in range(self.concurrency)]
+        for w in workers:
+            yield w
+        self.report.finished_at = sim.now
+        return self.report
+
+    def _done_enough(self) -> bool:
+        target = getattr(self, "_target", None)
+        return target is not None and (
+            self.report.requests_completed + self.report.requests_failed >= target)
+
+    def _worker(self, limit: bool = False):
+        from repro.sim.engine import Interrupt
+
+        sim = self.host.sim
+        try:
+            while not self._stop and not (limit and self._done_enough()):
+                yield from self._one_request()
+        except Interrupt:
+            return
+
+    def _one_request(self):
+        sim = self.host.sim
+        t_start = sim.now
+        conn = self.host.tcp.connect(self.server_ip, self.port)
+        deadline = sim.timeout(self.connect_timeout)
+        established = conn.wait_established()
+        yield sim.any_of([established, deadline])
+        if not established.processed or not established.ok:
+            self.report.requests_failed += 1
+            conn.abort()
+            if not established.processed:
+                # Leave a failed handshake behind; back off briefly.
+                yield sim.timeout(0.1)
+            return
+        self.report.connect_times.append(sim.now - t_start)
+        request = HttpRequest(self.path)
+        try:
+            yield conn.send(request.size, obj=request)
+        except ConnectionReset:
+            self.report.requests_failed += 1
+            return
+        # Read until the response marker (headers+body fully delivered).
+        response: Optional[HttpResponse] = None
+        while response is None:
+            chunk = yield conn.recv()
+            if chunk is None:
+                break
+            conn.app_read(chunk.nbytes)
+            for obj in chunk.objs:
+                if isinstance(obj, HttpResponse):
+                    response = obj
+        if response is None or response.status != 200:
+            self.report.requests_failed += 1
+            conn.close()
+            return
+        conn.close()
+        self.report.requests_completed += 1
+        self.report.total_times.append(sim.now - t_start)
+        self.report.completion_stamps.append(sim.now)

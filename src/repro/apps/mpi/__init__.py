@@ -1,0 +1,17 @@
+"""Message-passing runtime + the paper's parallel workloads.
+
+* :mod:`repro.apps.mpi.runtime` — MPICH-over-TCP stand-in: ranks on
+  (virtual) hosts, full-mesh TCP connections, blocking send/recv with
+  tags, barrier, and modeled compute time scaled by each host's
+  ``cpu_factor``.
+* :mod:`repro.apps.mpi.heat` — the heat-distribution Jacobi program of
+  Fig 11 (Quinn, *Parallel Programming in C with MPI and OpenMP*).
+* :mod:`repro.apps.mpi.kernels` — NAS-style EP (embarrassingly parallel)
+  and FT (FFT, all-to-all transpose) kernels of Fig 14.
+"""
+
+from repro.apps.mpi.heat import heat_distribution_program
+from repro.apps.mpi.kernels import ep_program, ft_program
+from repro.apps.mpi.runtime import MpiContext, MpiJob
+
+__all__ = ["MpiContext", "MpiJob", "ep_program", "ft_program", "heat_distribution_program"]

@@ -1,0 +1,60 @@
+"""NAS-style EP and FT kernels — Fig 14's workloads.
+
+* **EP** (embarrassingly parallel): generate random pairs and tally —
+  pure local compute, one tiny reduction at the end. Cluster locality
+  barely matters (Fig 14 a/c show modest gaps).
+* **FT** (3-D FFT): every iteration performs FFT compute plus an
+  all-to-all transpose moving the whole grid across ranks — dominated
+  by inter-host communication, so locality-sensitive grouping pays off
+  dramatically (Fig 14 b/d).
+
+Problem classes follow the NAS definitions (scaled by ``flops_scale``
+to keep simulated times in the paper's magnitude):
+
+=========  =====================  ==========================
+class      EP samples             FT grid (iterations)
+=========  =====================  ==========================
+A          2^28                   256 x 256 x 128 (6)
+B          2^30                   512 x 256 x 256 (20)
+=========  =====================  ==========================
+"""
+
+from __future__ import annotations
+
+__all__ = ["EP_CLASSES", "FT_CLASSES", "ep_program", "ft_program"]
+
+EP_CLASSES = {"A": 2**28, "B": 2**30}
+FT_CLASSES = {"A": ((256, 256, 128), 6), "B": ((512, 256, 256), 20)}
+
+EP_FLOPS_PER_SAMPLE = 30.0
+FT_FLOPS_PER_POINT_PER_ITER = 110.0  # ~ 5 log2(N) per 1-D FFT pass x 3 dims
+COMPLEX_BYTES = 16
+
+
+def ep_program(samples: float, flops_per_sample: float = EP_FLOPS_PER_SAMPLE):
+    """Embarrassingly parallel: local compute + one small reduction."""
+
+    def program(ctx):
+        yield from ctx.compute(samples / ctx.size * flops_per_sample)
+        # Reduce 10 Gaussian-pair counters to rank 0.
+        yield from ctx.gather_to_root(10 * 8)
+
+    return program
+
+
+def ft_program(grid: tuple, iterations: int,
+               flops_per_point: float = FT_FLOPS_PER_POINT_PER_ITER):
+    """FFT: per-iteration compute + all-to-all transpose of the grid."""
+    nx, ny, nz = grid
+    total_points = nx * ny * nz
+
+    def program(ctx):
+        points_per_rank = total_points // ctx.size
+        # Transpose: each rank re-distributes its slab across all peers.
+        bytes_per_peer = points_per_rank * COMPLEX_BYTES // ctx.size
+        for it in range(iterations):
+            yield from ctx.compute(points_per_rank * flops_per_point)
+            yield from ctx.alltoall(bytes_per_peer, tag=100 + it)
+        yield from ctx.gather_to_root(10 * 8)
+
+    return program

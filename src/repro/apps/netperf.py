@@ -1,0 +1,92 @@
+"""netperf TCP_STREAM with interim results (Figs 7, 8, 9).
+
+``netperf_stream`` pushes bytes for a fixed duration; a poller records
+the delivery rate every ``interval`` seconds (the paper polls every
+500 ms during migration experiments). Delivery is measured as
+cumulatively ACKed bytes at the sender — identical to the receiver's
+in-order byte count for TCP, and measurable even when the path crosses
+NATs that rewrite the connection's addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.addresses import IPv4Address
+from repro.net.stack import Host
+from repro.net.tcp import ConnectionReset
+
+__all__ = ["NetperfResult", "netperf_stream", "netserver"]
+
+NETPERF_PORT = 12865
+
+
+@dataclass
+class NetperfResult:
+    duration: float
+    bytes_received: int
+    times: list = field(default_factory=list)
+    rates_mbps: list = field(default_factory=list)
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.bytes_received * 8 / 1e6 / self.duration if self.duration > 0 else 0.0
+
+    def series(self) -> "tuple[np.ndarray, np.ndarray]":
+        return np.asarray(self.times), np.asarray(self.rates_mbps)
+
+
+def netserver(host: Host, port: int = NETPERF_PORT):
+    """Process: accept and drain TCP_STREAM connections forever."""
+    from repro.net.tcp import drain_bytes
+
+    listener = host.tcp.listen(port)
+    while True:
+        conn = yield listener.accept()
+        host.sim.process(drain_bytes(conn), name=f"netserver:{host.name}")
+
+
+def netperf_stream(host: Host, dst_ip: IPv4Address,
+                   duration: float = 10.0, interval: float = 0.5,
+                   chunk: int = 65536, port: int = NETPERF_PORT):
+    """Process: TCP_STREAM from ``host`` to a :func:`netserver` at
+    ``dst_ip`` for ``duration`` seconds; returns NetperfResult."""
+    sim = host.sim
+    conn = host.tcp.connect(dst_ip, port)
+    try:
+        yield conn.wait_established()
+    except ConnectionReset:
+        return NetperfResult(duration, 0)
+    result = NetperfResult(duration, 0)
+    t_end = sim.now + duration
+    done = sim.timeout(duration)
+    start_acked = conn.bytes_acked_total
+
+    def poller(sim):
+        last = conn.bytes_acked_total
+        while sim.now < t_end - 1e-9:
+            yield sim.timeout(interval)
+            now_acked = conn.bytes_acked_total
+            result.times.append(sim.now)
+            result.rates_mbps.append((now_acked - last) * 8 / 1e6 / interval)
+            last = now_acked
+
+    poll_proc = sim.process(poller(sim))
+
+    def pusher(sim):
+        try:
+            while sim.now < t_end - 1e-9 and not conn.reset:
+                ev = conn.send(chunk)
+                yield sim.any_of([ev, sim.timeout(max(t_end - sim.now, 0.01))])
+        except ConnectionReset:
+            return  # test ended / connection torn down mid-send
+
+    sim.process(pusher(sim))
+    yield done
+    yield poll_proc
+    result.bytes_received = conn.bytes_acked_total - start_acked
+    if not conn.reset:
+        conn.abort()  # netperf test over; no graceful drain needed
+    return result

@@ -1,0 +1,9 @@
+"""ICMP probing — thin re-export of the stack's Pinger.
+
+Kept as an app module so workloads import measurement tools from one
+place (`repro.apps`), mirroring how the paper names its tools (ping,
+ttcp, netperf, ApacheBench)."""
+
+from repro.net.icmp import Pinger, PingResult
+
+__all__ = ["Pinger", "PingResult"]

@@ -1,0 +1,10 @@
+"""Baseline comparator systems.
+
+:mod:`repro.baselines.ipop` reimplements the structural design of IPOP
+(Ganguly et al., "IP over P2P", IPDPS'06 / WOW HPDC'06) — the system the
+paper compares against in every experiment.
+"""
+
+from repro.baselines.ipop import IpopConfig, IpopNode, IpopOverlay
+
+__all__ = ["IpopConfig", "IpopNode", "IpopOverlay"]

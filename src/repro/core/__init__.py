@@ -1,0 +1,47 @@
+"""WAVNet core: the paper's primary contribution.
+
+Composition on each participating host (Fig 2 / Fig 5)::
+
+    applications / VMs
+        |                +---------------------------+
+      bridge (br0) ------| tap  ->  Packet Assembler |
+        |  \\             |  WAV-Switch  ->  tunnels  |--> UDP --> WAN
+      wav0  vif(VMs)     +---------------------------+
+                                 WavnetDriver
+
+* :mod:`repro.core.tap` — the user-level virtual network device.
+* :mod:`repro.core.assembler` — WAVNet encapsulation + CONNECT_PULSE.
+* :mod:`repro.core.switch` — the Wide-Area Virtual Switch (MAC ->
+  host-to-host connection).
+* :mod:`repro.core.connection` — connection lifecycle: UDP hole punching,
+  keepalive, liveness.
+* :mod:`repro.core.driver` — :class:`WavnetDriver`, the per-host entry
+  point tying everything to a rendezvous server.
+* :mod:`repro.core.latency` / :mod:`repro.core.grouping` — the distance
+  locator matrix and the locality-sensitive grouping strategy (§II.D).
+"""
+
+from repro.core.connection import ConnectionState, WavConnection
+from repro.core.driver import WavnetDriver
+from repro.core.grouping import (
+    brute_force_group,
+    greedy_group,
+    locality_sensitive_group,
+    random_group,
+)
+from repro.core.latency import LatencyMatrix
+from repro.core.switch import WavSwitch
+from repro.core.tap import TapDevice
+
+__all__ = [
+    "ConnectionState",
+    "LatencyMatrix",
+    "TapDevice",
+    "WavConnection",
+    "WavSwitch",
+    "WavnetDriver",
+    "brute_force_group",
+    "greedy_group",
+    "locality_sensitive_group",
+    "random_group",
+]

@@ -1,0 +1,131 @@
+"""Packet Assembler: WAVNet encapsulation formats.
+
+The PA "categorizes communication packets and encapsulates them with
+proper identifiers" (§II.A). Wire formats (sizes are what count in the
+simulation):
+
+* ``WavData``   — 4-byte WAVNet header + the tunneled Ethernet frame.
+* ``WavPulse``  — the 2-byte CONNECT_PULSE keepalive (§II.B).
+* ``WavPunch`` / ``WavPunchAck`` — hole-punching probes.
+
+Everything travels as the payload of a UDP datagram between host public
+endpoints, so the per-packet overhead of the virtual layer is
+``4 (WAVNet) + 8 (UDP) + 20 (IP) + 18 (outer Ethernet)`` bytes — the
+"redundant packet headers" the paper sets out to minimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packet import EthernetFrame, Payload
+
+__all__ = [
+    "DATA_HEADER",
+    "PULSE_SIZE",
+    "PacketAssembler",
+    "WavData",
+    "WavPulse",
+    "WavPunch",
+    "WavPunchAck",
+    "WavRelay",
+]
+
+DATA_HEADER = 4
+PULSE_SIZE = 2
+PUNCH_SIZE = 20
+
+
+@dataclass(frozen=True)
+class WavData:
+    """A tunneled layer-2 frame."""
+
+    frame: EthernetFrame
+
+    @property
+    def size(self) -> int:
+        return DATA_HEADER + self.frame.size
+
+
+@dataclass(frozen=True)
+class WavPulse:
+    """CONNECT_PULSE: 2-byte keepalive refreshing NAT bindings."""
+
+    @property
+    def size(self) -> int:
+        return PULSE_SIZE
+
+
+@dataclass(frozen=True)
+class WavPunch:
+    """Hole-punching probe carrying the sender's WAVNet identity."""
+
+    sender: str
+    nonce: int = 0
+
+    @property
+    def size(self) -> int:
+        return PUNCH_SIZE
+
+
+@dataclass(frozen=True)
+class WavPunchAck:
+    sender: str
+    nonce: int = 0
+
+    @property
+    def size(self) -> int:
+        return PUNCH_SIZE
+
+
+@dataclass(frozen=True)
+class WavRelay:
+    """Extension (paper future work): rendezvous-relayed tunnel payload
+    for peers whose NATs defeat hole punching (symmetric<->symmetric).
+
+    Carries any WAVNet payload plus sender/target names so the
+    rendezvous server can forward it to the target's registered
+    endpoint. 16 bytes of relay header on top of the inner payload.
+    """
+
+    sender: str
+    target: str
+    inner: object  # WavData | WavPulse
+
+    @property
+    def size(self) -> int:
+        return 16 + self.inner.size
+
+
+class PacketAssembler:
+    """Encapsulation/decapsulation with byte and packet accounting."""
+
+    def __init__(self) -> None:
+        self.frames_encapsulated = 0
+        self.frames_decapsulated = 0
+        self.bytes_tunneled = 0
+        self.pulses_sent = 0
+
+    def encapsulate(self, frame: EthernetFrame) -> Payload:
+        self.frames_encapsulated += 1
+        body = WavData(frame)
+        self.bytes_tunneled += body.size
+        return Payload(body.size, data=body, kind="wav")
+
+    def decapsulate(self, payload: Payload) -> Optional[EthernetFrame]:
+        body = payload.data
+        if not isinstance(body, WavData):
+            return None
+        self.frames_decapsulated += 1
+        return body.frame
+
+    def pulse(self) -> Payload:
+        self.pulses_sent += 1
+        body = WavPulse()
+        return Payload(body.size, data=body, kind="wav")
+
+    @staticmethod
+    def punch(sender: str, nonce: int = 0, ack: bool = False) -> Payload:
+        body = WavPunchAck(sender, nonce) if ack else WavPunch(sender, nonce)
+        return Payload(body.size, data=body, kind="wav")

@@ -1,0 +1,200 @@
+"""Direct host-to-host connection lifecycle (§II.B).
+
+A :class:`WavConnection` goes through::
+
+    PUNCHING --(probe answered)--> ESTABLISHED --(silence)--> DEAD
+
+* **Punching** — both sides, told about each other by their rendezvous
+  servers, blast ``WavPunch`` probes at the peer's candidate endpoints
+  (public NAT 2-tuple first, private address for same-LAN peers). The
+  first probe/ack that arrives fixes the working remote endpoint.
+* **Keepalive** — an established connection exchanges the 2-byte
+  CONNECT_PULSE every ``pulse_interval`` (paper: 5 s) so NATs "re-count
+  the timeout of the existing connections".
+* **Liveness** — silence for ``liveness_factor`` pulse intervals marks
+  the connection DEAD; the driver tears it down and the WAV-Switch
+  forgets its MACs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.net.addresses import IPv4Address
+from repro.net.packet import Payload
+from repro.overlay.resources import ConnectionInfo
+from repro.sim.engine import Event, Interrupt
+
+__all__ = ["ConnectionState", "WavConnection"]
+
+
+class ConnectionState(enum.Enum):
+    PUNCHING = "punching"
+    ESTABLISHED = "established"
+    DEAD = "dead"
+
+
+class WavConnection:
+    """One direct tunnel between this host and a peer."""
+
+    def __init__(
+        self,
+        driver,
+        peer_name: str,
+        peer_conn: Optional[ConnectionInfo] = None,
+        pulse_interval: float = 5.0,
+        punch_interval: float = 0.2,
+        punch_timeout: float = 10.0,
+        liveness_factor: float = 4.0,
+    ) -> None:
+        self.driver = driver
+        self.sim = driver.sim
+        self.peer_name = peer_name
+        self.peer_conn = peer_conn
+        self.pulse_interval = pulse_interval
+        self.punch_interval = punch_interval
+        self.punch_timeout = punch_timeout
+        self.liveness_factor = liveness_factor
+
+        self.state = ConnectionState.PUNCHING
+        self.relayed = False  # rendezvous-relay fallback (symmetric NATs)
+        self.remote: Optional[tuple[IPv4Address, int]] = None
+        self.established_event: Event = Event(self.sim)
+        self.established_at: Optional[float] = None
+        self.last_heard = self.sim.now
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.pulses_received = 0
+        self._punch_proc = None
+        self._keepalive_proc = None
+
+    # -- properties -------------------------------------------------------
+    @property
+    def usable(self) -> bool:
+        return self.state is ConnectionState.ESTABLISHED
+
+    def wait_established(self) -> Event:
+        return self.established_event
+
+    # -- candidate endpoints --------------------------------------------------
+    def candidates(self) -> list[tuple[IPv4Address, int]]:
+        """Endpoints worth probing, public first, private for LAN peers."""
+        out: list[tuple[IPv4Address, int]] = []
+        if self.remote is not None:
+            out.append(self.remote)
+        if self.peer_conn is not None:
+            pub = (self.peer_conn.public_ip, self.peer_conn.public_port)
+            priv = (self.peer_conn.private_ip, self.peer_conn.private_port)
+            for ep in (pub, priv):
+                if ep not in out:
+                    out.append(ep)
+        return out
+
+    # -- punching ----------------------------------------------------------------
+    def start_punching(self) -> None:
+        if self._punch_proc is None or not self._punch_proc.is_alive:
+            self._punch_proc = self.sim.process(self._punch_loop(),
+                                                name=f"punch:{self.driver.name}->{self.peer_name}")
+
+    def _punch_loop(self):
+        deadline = self.sim.now + self.punch_timeout
+        nonce = 0
+        try:
+            while self.state is ConnectionState.PUNCHING and self.sim.now < deadline:
+                for endpoint in self.candidates():
+                    self.driver._send_raw(endpoint,
+                                          self.driver.assembler.punch(self.driver.name, nonce))
+                nonce += 1
+                yield self.sim.timeout(self.punch_interval)
+        except Interrupt:
+            return
+        if self.state is ConnectionState.PUNCHING:
+            self._fail()
+
+    def _fail(self) -> None:
+        self.state = ConnectionState.DEAD
+        if not self.established_event.triggered:
+            self.established_event.fail(TimeoutError(
+                f"hole punching to {self.peer_name} failed"))
+            self.established_event.defuse()
+        self.driver._connection_dead(self)
+
+    def _establish(self, remote: tuple[IPv4Address, int]) -> None:
+        self.remote = remote
+        self.last_heard = self.sim.now
+        if self.state is ConnectionState.ESTABLISHED:
+            return
+        self.state = ConnectionState.ESTABLISHED
+        self.established_at = self.sim.now
+        if not self.established_event.triggered:
+            self.established_event.succeed(self)
+        if self._punch_proc is not None and self._punch_proc.is_alive:
+            self._punch_proc.interrupt("established")
+        self._keepalive_proc = self.sim.process(
+            self._keepalive_loop(), name=f"pulse:{self.driver.name}->{self.peer_name}")
+        self.driver._connection_established(self)
+
+    # -- inbound ---------------------------------------------------------------
+    def on_punch(self, src: tuple[IPv4Address, int], nonce: int) -> None:
+        self.driver._send_raw(src, self.driver.assembler.punch(
+            self.driver.name, nonce, ack=True))
+        self._establish(src)
+
+    def on_punch_ack(self, src: tuple[IPv4Address, int]) -> None:
+        self._establish(src)
+
+    def establish_relayed(self) -> None:
+        """Fall back to relaying through the rendezvous server (extension
+        for NAT pairs that defeat hole punching)."""
+        self.relayed = True
+        self._establish((self.driver.rendezvous_ip, self.driver.rendezvous_port))
+
+    def on_pulse(self, src: tuple[IPv4Address, int]) -> None:
+        self.pulses_received += 1
+        self.last_heard = self.sim.now
+
+    def on_data(self, size: int) -> None:
+        self.frames_received += 1
+        self.bytes_received += size
+        self.last_heard = self.sim.now
+
+    # -- outbound -------------------------------------------------------------
+    def send(self, payload: Payload) -> None:
+        if not self.usable:
+            return
+        self.frames_sent += 1
+        self.bytes_sent += payload.size
+        if self.relayed:
+            self.driver._send_relayed(self.peer_name, payload)
+        else:
+            self.driver._send_raw(self.remote, payload)
+
+    # -- keepalive / liveness ------------------------------------------------
+    def _keepalive_loop(self):
+        try:
+            while self.usable:
+                yield self.sim.timeout(self.pulse_interval)
+                if not self.usable:
+                    return
+                silent_for = self.sim.now - self.last_heard
+                if silent_for > self.liveness_factor * self.pulse_interval:
+                    self.state = ConnectionState.DEAD
+                    self.driver._connection_dead(self)
+                    return
+                self.send(self.driver.assembler.pulse())
+        except Interrupt:
+            return
+
+    def close(self) -> None:
+        self.state = ConnectionState.DEAD
+        for proc in (self._punch_proc, self._keepalive_proc):
+            if proc is not None and proc.is_alive:
+                proc.interrupt("closed")
+        self.driver._connection_dead(self)
+
+    def __repr__(self) -> str:
+        return (f"WavConnection({self.driver.name}->{self.peer_name}, "
+                f"{self.state.value}, remote={self.remote})")

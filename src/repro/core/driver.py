@@ -1,0 +1,324 @@
+"""WavnetDriver: the per-host WAVNet entry point.
+
+Downloading "the WAVNet driver, which is already configured with
+well-known rendezvous server(s)" (§II.B) corresponds to constructing a
+:class:`WavnetDriver` and running :meth:`start`. The driver owns:
+
+* one UDP socket (``wav_port``) carrying *everything* — STUN probes,
+  rendezvous RPC, hole-punch probes, CONNECT_PULSE, and tunneled frames —
+  so one NAT mapping covers control and data;
+* the software bridge, tap device, WAV-Switch, and Packet Assembler;
+* a ``wav0`` virtual interface giving the host itself an address on the
+  virtual LAN;
+* the connection table (peer name -> :class:`WavConnection`).
+
+After :meth:`start`, the host appears on a virtual Ethernet segment
+shared with every peer it connects to; VMs are plugged into the same
+segment via :meth:`attach_port` (used by the hypervisor's vif plumbing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.assembler import (PacketAssembler, WavData, WavPulse,
+                                  WavPunch, WavPunchAck, WavRelay)
+from repro.core.connection import ConnectionState, WavConnection
+from repro.core.switch import WavSwitch
+from repro.core.tap import TapDevice
+from repro.nat.types import NatType
+from repro.net.addresses import IPv4Address, IPv4Network
+from repro.net.l2 import Bridge, Port, patch
+from repro.net.packet import EthernetFrame, Payload
+from repro.net.stack import Host, Interface
+from repro.overlay.rendezvous import RENDEZVOUS_PORT, _ConnectBody, _PunchNotice, _RegisterBody
+from repro.overlay.resources import ConnectionInfo, ResourceRecord
+from repro.overlay.rpc import RpcEndpoint, RpcError, RpcTimeout
+from repro.sim.engine import Event, Interrupt
+from repro.stun.client import StunClient
+from repro.stun.messages import StunResponse
+
+__all__ = ["WavnetDriver", "WAV_PORT"]
+
+WAV_PORT = 8777
+
+
+class WavnetDriver:
+    """WAVNet on one host."""
+
+    def __init__(
+        self,
+        host: Host,
+        virtual_ip: IPv4Address | str,
+        virtual_network: IPv4Network | str = "10.99.0.0/16",
+        rendezvous_ip: IPv4Address | str | None = None,
+        rendezvous_port: int = RENDEZVOUS_PORT,
+        stun_server_ip: IPv4Address | str | None = None,
+        wav_port: int = WAV_PORT,
+        pulse_interval: float = 5.0,
+        punch_timeout: float = 10.0,
+        keepalive_interval: float = 20.0,
+        attrs: Optional[dict] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.name = name or host.name
+        self.virtual_ip = IPv4Address(virtual_ip)
+        self.virtual_network = (IPv4Network(virtual_network)
+                                if isinstance(virtual_network, str) else virtual_network)
+        self.rendezvous_ip = IPv4Address(rendezvous_ip) if rendezvous_ip else None
+        self.rendezvous_port = rendezvous_port
+        self.stun_server_ip = IPv4Address(stun_server_ip) if stun_server_ip else None
+        self.pulse_interval = pulse_interval
+        self.punch_timeout = punch_timeout
+        self.keepalive_interval = keepalive_interval
+        self.attrs = dict(attrs or {"cpu_ghz": 2.0, "mem_mb": 2048.0})
+
+        # --- data-plane plumbing (Fig 2 / Fig 5) ---
+        self.bridge = Bridge(self.sim, name=f"{self.name}.br0")
+        self.tap = TapDevice(self.sim, name=f"{self.name}.tap0")
+        patch(self.tap.port, self.bridge.new_port(f"{self.name}.br0.tap"))
+        self.tap.capture_handler = self._on_captured_frame
+        self.assembler = PacketAssembler()
+        self.switch = WavSwitch(self.name)
+
+        # Host's own presence on the virtual LAN.
+        self.wav_iface: Interface = host.stack.add_interface("wav0", host.mac_mint())
+        self.wav_iface.configure(self.virtual_ip, self.virtual_network)
+        host.stack.connected_route_for(self.wav_iface)
+        patch(self.wav_iface.port, self.bridge.new_port(f"{self.name}.br0.wav0"))
+
+        # --- control plane ---
+        self.sock = host.udp.bind(wav_port)
+        self.rpc = RpcEndpoint(host.stack, self.sock, name=f"wav:{self.name}", own_loop=False)
+        self.rpc.register("wav.punch", self._on_punch_notice)
+        self.connections: dict[str, WavConnection] = {}
+        self._by_endpoint: dict[tuple[IPv4Address, int], WavConnection] = {}
+        self.nat_type: Optional[NatType] = None
+        self.public_endpoint: Optional[tuple[IPv4Address, int]] = None
+        self.started = Event(self.sim)
+        from repro.sim.queues import Store
+        self._stun_inbox = Store(self.sim)
+        self._rx_proc = self.sim.process(self._rx_loop(), name=f"wav-rx:{self.name}")
+        self._keepalive_proc = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Process: STUN discovery, rendezvous registration, keepalive."""
+        if self.stun_server_ip is not None:
+            stun = StunClient(self.host.stack, self.sock, self.stun_server_ip,
+                              inbox=self._stun_inbox)
+            probe = yield from stun.classify()
+            self.nat_type = probe.nat_type
+            if probe.mapped_ip is not None:
+                self.public_endpoint = probe.public_endpoint
+        if self.nat_type is None:
+            self.nat_type = NatType.OPEN
+        if self.public_endpoint is None:
+            self.public_endpoint = (self.host.stack.ips[0], self.sock.port)
+        if self.rendezvous_ip is not None:
+            yield from self.rpc.call(
+                self.rendezvous_ip, self.rendezvous_port, "rvz.register",
+                _RegisterBody(self.name, self.connection_info(), dict(self.attrs)),
+                timeout=5.0)
+            self._keepalive_proc = self.sim.process(
+                self._rendezvous_keepalive(), name=f"wav-ka:{self.name}")
+        if not self.started.triggered:
+            self.started.succeed(self)
+        return self
+
+    def connection_info(self) -> ConnectionInfo:
+        pub_ip, pub_port = self.public_endpoint
+        return ConnectionInfo(
+            rendezvous_ip=self.rendezvous_ip or IPv4Address(0),
+            rendezvous_port=self.rendezvous_port,
+            public_ip=pub_ip,
+            public_port=pub_port,
+            private_ip=self.host.stack.ips[0],
+            private_port=self.sock.port,
+            nat_type=self.nat_type or NatType.OPEN,
+        )
+
+    def _rendezvous_keepalive(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.keepalive_interval)
+                try:
+                    yield from self.rpc.call(
+                        self.rendezvous_ip, self.rendezvous_port, "rvz.keepalive",
+                        (self.name, dict(self.attrs)), timeout=5.0, retries=2)
+                except (RpcTimeout, RpcError):
+                    pass  # rendezvous unreachable; keep trying
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Shut the driver down: close tunnels, stop keepalives and the
+        receive loop, and take the tap down (host crash / driver exit)."""
+        for conn in list(self.connections.values()):
+            conn.close()
+        if self._keepalive_proc is not None and self._keepalive_proc.is_alive:
+            self._keepalive_proc.interrupt("stopped")
+        if self._rx_proc is not None and self._rx_proc.is_alive:
+            self._rx_proc.interrupt("stopped")
+        self.tap.up = False
+
+    # ------------------------------------------------------------------
+    # Resource discovery and connection setup (Fig 3)
+    # ------------------------------------------------------------------
+    def query_resources(self, limit: int = 8, **attrs):
+        """Process: route a resource query through the rendezvous layer."""
+        if self.rendezvous_ip is None:
+            raise RuntimeError("driver has no rendezvous server")
+        query = dict(self.attrs)
+        query.update(attrs)
+        records = yield from self.rpc.call(
+            self.rendezvous_ip, self.rendezvous_port, "rvz.query",
+            (query, limit), timeout=10.0)
+        return [r for r in records if r.host_name != self.name]
+
+    def connect(self, record: ResourceRecord, timeout: Optional[float] = None,
+                allow_relay: bool = True):
+        """Process: broker + punch a direct connection to ``record``'s host;
+        with ``allow_relay`` (an extension beyond the paper), peers whose
+        NATs defeat punching fall back to relaying through the rendezvous
+        server. Returns the established WavConnection."""
+        existing = self.connections.get(record.host_name)
+        if existing is not None and existing.usable:
+            return existing
+        notice = yield from self.rpc.call(
+            self.rendezvous_ip, self.rendezvous_port, "rvz.connect",
+            _ConnectBody(self.name, self.connection_info(), record.host_name,
+                         record.conn.rendezvous_ip, record.conn.rendezvous_port),
+            timeout=10.0)
+        conn = self._ensure_connection(notice.peer_name, notice.peer_conn)
+        conn.start_punching()
+        try:
+            result = yield conn.wait_established()
+        except TimeoutError:
+            if not allow_relay or self.rendezvous_ip is None:
+                raise
+            conn = self._ensure_connection(notice.peer_name, notice.peer_conn)
+            conn.establish_relayed()
+            # The first relayed pulse converts the peer's side too.
+            conn.send(self.assembler.pulse())
+            result = conn
+        return result
+
+    def connect_by_name(self, peer_name: str, **attrs):
+        """Process: query then connect to the named peer."""
+        records = yield from self.query_resources(limit=64, **attrs)
+        for record in records:
+            if record.host_name == peer_name:
+                conn = yield from self.connect(record)
+                return conn
+        raise RpcError(f"host {peer_name!r} not found in resource directory")
+
+    def _ensure_connection(self, peer_name: str, peer_conn: Optional[ConnectionInfo]) -> WavConnection:
+        conn = self.connections.get(peer_name)
+        if conn is None or conn.state is ConnectionState.DEAD:
+            conn = WavConnection(self, peer_name, peer_conn,
+                                 pulse_interval=self.pulse_interval,
+                                 punch_timeout=self.punch_timeout)
+            self.connections[peer_name] = conn
+        elif peer_conn is not None and conn.peer_conn is None:
+            conn.peer_conn = peer_conn
+        return conn
+
+    def _on_punch_notice(self, notice: _PunchNotice, _src_ip, _src_port):
+        """Rendezvous says: peer is about to punch — punch back (step 3/4)."""
+        conn = self._ensure_connection(notice.peer_name, notice.peer_conn)
+        conn.start_punching()
+        return None
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def attach_port(self, port: Port, label: str = "vif") -> None:
+        """Plug an external L2 port (a VM's vif) into the bridge."""
+        patch(port, self.bridge.new_port(f"{self.name}.br0.{label}"))
+
+    def _on_captured_frame(self, frame: EthernetFrame) -> None:
+        """Frame left the bridge through the tap: tunnel it."""
+        for conn in self.switch.select(frame, self.connections.values()):
+            conn.send(self.assembler.encapsulate(frame))
+
+    def _send_raw(self, endpoint: tuple[IPv4Address, int], payload: Payload) -> None:
+        self.sock.sendto(endpoint[0], endpoint[1], payload)
+
+    def _send_relayed(self, peer_name: str, payload: Payload) -> None:
+        wrapped = WavRelay(self.name, peer_name, payload.data)
+        self.sock.sendto(self.rendezvous_ip, self.rendezvous_port,
+                         Payload(wrapped.size, data=wrapped, kind="wav"))
+
+    def _rx_loop(self):
+        try:
+            yield from self._rx_loop_body()
+        except Interrupt:
+            return
+
+    def _rx_loop_body(self):
+        while True:
+            payload, src_ip, src_port = yield self.sock.recvfrom()
+            src = (src_ip, src_port)
+            body = payload.data
+            if isinstance(body, WavData):
+                conn = self._by_endpoint.get(src)
+                if conn is None:
+                    continue  # tunnel data from an unknown endpoint
+                conn.on_data(payload.size)
+                frame = self.assembler.decapsulate(payload)
+                self.switch.learn(frame.src, conn)
+                self.tap.inject(frame)
+            elif isinstance(body, WavPulse):
+                conn = self._by_endpoint.get(src)
+                if conn is not None:
+                    conn.on_pulse(src)
+            elif isinstance(body, WavPunch):
+                conn = self._ensure_connection(body.sender, None)
+                conn.on_punch(src, body.nonce)
+            elif isinstance(body, WavPunchAck):
+                conn = self.connections.get(body.sender)
+                if conn is not None:
+                    conn.on_punch_ack(src)
+            elif isinstance(body, WavRelay):
+                conn = self._ensure_connection(body.sender, None)
+                if not conn.usable:
+                    conn.establish_relayed()
+                inner = body.inner
+                if isinstance(inner, WavData):
+                    conn.on_data(body.size)
+                    self.switch.learn(inner.frame.src, conn)
+                    self.tap.inject(inner.frame)
+                elif isinstance(inner, WavPulse):
+                    conn.on_pulse(src)
+            elif isinstance(body, StunResponse):
+                self._stun_inbox.try_put((payload, src_ip, src_port))
+            else:
+                self.rpc.handle_datagram(payload, src_ip, src_port)
+
+    # -- connection table callbacks -------------------------------------------
+    def _connection_established(self, conn: WavConnection) -> None:
+        if not conn.relayed:  # relayed conns demux by sender name instead
+            self._by_endpoint[conn.remote] = conn
+
+    def _connection_dead(self, conn: WavConnection) -> None:
+        self.switch.forget_connection(conn)
+        if conn.remote is not None and self._by_endpoint.get(conn.remote) is conn:
+            del self._by_endpoint[conn.remote]
+        if self.connections.get(conn.peer_name) is conn:
+            del self.connections[conn.peer_name]
+
+    # -- distance reporting (feeds the grouping strategy) ---------------------
+    def report_latencies(self, rtts: dict[str, float]):
+        """Process: report measured RTTs to the rendezvous distance locator."""
+        result = yield from self.rpc.call(
+            self.rendezvous_ip, self.rendezvous_port, "rvz.latency_report",
+            (self.name, dict(rtts)), timeout=5.0)
+        return result
+
+    def __repr__(self) -> str:
+        return f"WavnetDriver({self.name}, vip={self.virtual_ip}, conns={len(self.connections)})"

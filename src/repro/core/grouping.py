@@ -1,0 +1,181 @@
+"""Locality-sensitive virtual-cluster selection (§II.D, second part).
+
+Given N candidate hosts and their latency matrix, pick k hosts whose
+average mutual latency L(Π) (Formula 1) is minimal.
+
+* :func:`locality_sensitive_group` — the paper's approximation: for each
+  matrix row take the k+1 nearest hosts, form the k+1 "leave-one-out"
+  k-subsets, filter subsets containing an over-large connection, keep
+  the best. O(N·k) candidate groups (the paper's complexity claim),
+  each scored in O(k) via an incremental leave-one-out identity.
+* :func:`brute_force_group` — the optimal O(C(N,k)) reference.
+* :func:`greedy_group` — seed with the closest pair, grow greedily.
+* :func:`random_group` — the random-selection baseline of Fig 14.
+
+All functions return ``GroupResult`` with member indices (sorted),
+average and max intra-group latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Optional
+
+import numpy as np
+
+from repro.core.latency import LatencyMatrix
+
+__all__ = [
+    "GroupResult",
+    "brute_force_group",
+    "greedy_group",
+    "locality_sensitive_group",
+    "random_group",
+]
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    members: tuple
+    average_latency: float
+    max_latency: float
+    candidates_examined: int = 0
+
+    def names(self, matrix: LatencyMatrix) -> list[str]:
+        return [matrix.names[i] for i in self.members]
+
+
+def _check_k(matrix: LatencyMatrix, k: int) -> None:
+    if not 2 <= k <= len(matrix):
+        raise ValueError(f"k={k} out of range for N={len(matrix)}")
+
+
+def _result(matrix: LatencyMatrix, members, examined: int = 0) -> GroupResult:
+    members = tuple(sorted(int(i) for i in members))
+    return GroupResult(members, matrix.group_average(members),
+                       matrix.group_max(members), examined)
+
+
+def locality_sensitive_group(
+    matrix: LatencyMatrix,
+    k: int,
+    max_latency: Optional[float] = None,
+    fallback: bool = False,
+) -> GroupResult:
+    """The paper's O(N·k) approximation algorithm.
+
+    ``max_latency`` implements the "filter those with at least one
+    unreasonable or over-large connection" step; None disables it (a
+    group is then only rejected against the running best). With
+    ``fallback=True``, if every candidate violates the filter the best
+    unfiltered group is returned instead of raising.
+    """
+    _check_k(matrix, k)
+    m = matrix.m
+    n = len(matrix)
+    order = matrix.sorted_rows()
+    pair_count = k * (k - 1)  # directed pairs; L uses the sum/(2*C(k,2))
+    best_members = None
+    best_avg = np.inf
+    best_max = np.inf
+    fb_members = None
+    fb_avg = np.inf
+    fb_max = np.inf
+    examined = 0
+    take = min(k + 1, n)
+    for i in range(n):
+        # "group the first k+1 elements at each row": the sorted row leads
+        # with the host itself (self-latency 0), so the candidate set is
+        # host i plus its k nearest peers.
+        nearest = order[i][:take]
+        if nearest.size < k:
+            continue
+        sub = m[np.ix_(nearest, nearest)]
+        if not np.all(np.isfinite(sub)):
+            continue
+        total = float(sub.sum())
+        col_sums = sub.sum(axis=1)  # contribution of each member (directed)
+        if nearest.size == k:
+            drops = [None]
+        else:
+            drops = range(nearest.size)
+        for drop in drops:
+            examined += 1
+            if drop is None:
+                members = nearest
+                group_sum = total
+            else:
+                members = np.delete(nearest, drop)
+                # Leave-one-out: removing x drops its row+column once each.
+                group_sum = total - 2.0 * float(col_sums[drop])
+            avg = group_sum / pair_count
+            if avg >= best_avg and avg >= fb_avg:
+                continue
+            gmax = float(m[np.ix_(members, members)].max())
+            if avg < fb_avg:
+                fb_avg, fb_max, fb_members = avg, gmax, members
+            if avg >= best_avg:
+                continue
+            if max_latency is not None and gmax > max_latency:
+                continue
+            best_avg = avg
+            best_max = gmax
+            best_members = members
+    if best_members is None and fallback:
+        best_members, best_avg, best_max = fb_members, fb_avg, fb_max
+    if best_members is None:
+        raise ValueError("no feasible group (matrix incomplete or filter too strict)")
+    return GroupResult(tuple(sorted(int(i) for i in best_members)),
+                       best_avg, best_max, examined)
+
+
+def brute_force_group(matrix: LatencyMatrix, k: int,
+                      max_latency: Optional[float] = None) -> GroupResult:
+    """Optimal reference: evaluates every C(N, k) subset."""
+    _check_k(matrix, k)
+    best = None
+    best_avg = np.inf
+    examined = 0
+    for members in combinations(range(len(matrix)), k):
+        examined += 1
+        avg = matrix.group_average(members)
+        if max_latency is not None and matrix.group_max(members) > max_latency:
+            continue
+        if avg < best_avg:
+            best_avg = avg
+            best = members
+    if best is None:
+        raise ValueError("no feasible group under the latency filter")
+    return _result(matrix, best, examined)
+
+
+def greedy_group(matrix: LatencyMatrix, k: int) -> GroupResult:
+    """Seed with the globally closest pair; repeatedly add the host that
+    minimizes the new average."""
+    _check_k(matrix, k)
+    m = matrix.m
+    n = len(matrix)
+    masked = m + np.where(np.eye(n, dtype=bool), np.inf, 0.0)
+    i, j = np.unravel_index(np.argmin(masked), masked.shape)
+    members = [int(i), int(j)]
+    examined = 1
+    while len(members) < k:
+        idx = np.asarray(members)
+        outside = np.setdiff1d(np.arange(n), idx)
+        #
+
+        # Adding x contributes 2 * sum(m[x, members]) to the pair sum.
+        contrib = m[np.ix_(outside, idx)].sum(axis=1)
+        examined += outside.size
+        members.append(int(outside[np.argmin(contrib)]))
+    return _result(matrix, members, examined)
+
+
+def random_group(matrix: LatencyMatrix, k: int, rng: np.random.Generator,
+                 pool: Optional[list] = None) -> GroupResult:
+    """Random-selection baseline (Fig 14's comparison case)."""
+    _check_k(matrix, k)
+    candidates = np.asarray(pool if pool is not None else np.arange(len(matrix)))
+    members = rng.choice(candidates, size=k, replace=False)
+    return _result(matrix, members, 1)

@@ -1,0 +1,91 @@
+"""Distance-locator latency matrix (§II.D, first part).
+
+The paper's distance locator "maintains a latency matrix by periodically
+communicating with neighbors. Each row in this matrix is always sorted
+in increasing order." :class:`LatencyMatrix` keeps the symmetric RTT
+matrix plus the per-row sort order the O(N·k) grouping algorithm needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["LatencyMatrix"]
+
+
+class LatencyMatrix:
+    """Symmetric host-to-host RTT matrix with sorted-row access."""
+
+    def __init__(self, names: Iterable[str]) -> None:
+        self.names = list(names)
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("duplicate host names")
+        self.index = {n: i for i, n in enumerate(self.names)}
+        n = len(self.names)
+        self.m = np.full((n, n), np.inf)
+        np.fill_diagonal(self.m, 0.0)
+        self._sorted_rows: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @classmethod
+    def from_array(cls, names: Iterable[str], matrix: np.ndarray) -> "LatencyMatrix":
+        lm = cls(names)
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != lm.m.shape:
+            raise ValueError(f"matrix shape {matrix.shape} != {lm.m.shape}")
+        if not np.allclose(matrix, matrix.T, equal_nan=True):
+            raise ValueError("latency matrix must be symmetric (paper Eq. 2)")
+        lm.m = matrix.copy()
+        np.fill_diagonal(lm.m, 0.0)
+        lm._sorted_rows = None
+        return lm
+
+    def update(self, a: str, b: str, rtt: float) -> None:
+        """Record a measured RTT (stored symmetrically, Eq. 2)."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT {rtt}")
+        i, j = self.index[a], self.index[b]
+        self.m[i, j] = rtt
+        self.m[j, i] = rtt
+        self._sorted_rows = None
+
+    def rtt(self, a: str, b: str) -> float:
+        return float(self.m[self.index[a], self.index[b]])
+
+    def sorted_rows(self) -> np.ndarray:
+        """Per-row argsort (cached): ``sorted_rows()[i]`` lists host
+        indices in increasing latency from host i (self first)."""
+        if self._sorted_rows is None:
+            self._sorted_rows = np.argsort(self.m, axis=1, kind="stable")
+        return self._sorted_rows
+
+    def complete(self) -> bool:
+        return bool(np.all(np.isfinite(self.m)))
+
+    def coverage(self) -> float:
+        """Fraction of off-diagonal pairs with a measurement."""
+        n = len(self)
+        if n < 2:
+            return 1.0
+        off = n * n - n
+        return float(np.sum(np.isfinite(self.m)) - n) / off
+
+    def group_average(self, members: Iterable[int]) -> float:
+        """L(Π) of Formula (1): mean pairwise latency within the group."""
+        idx = np.fromiter(members, dtype=int)
+        k = idx.size
+        if k < 2:
+            return 0.0
+        sub = self.m[np.ix_(idx, idx)]
+        return float(np.sum(sub) / (k * (k - 1)))
+
+    def group_max(self, members: Iterable[int]) -> float:
+        idx = np.fromiter(members, dtype=int)
+        if idx.size < 2:
+            return 0.0
+        sub = self.m[np.ix_(idx, idx)]
+        return float(np.max(sub))

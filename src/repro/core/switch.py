@@ -1,0 +1,55 @@
+"""WAV-Switch: the Wide-Area Virtual Switch.
+
+"It inspects the hardware address of communication packets and
+determines the connection over which the packets will be sent. The
+difference ... is that WAV-Switch works for WAN" (§II.A).
+
+Ports here are established host-to-host connections. MAC learning works
+exactly like an Ethernet switch — which is precisely why VM live
+migration is seamless (Fig 5): the migrated VM's gratuitous ARP arrives
+over the *new* host's connection and rewrites the MAC table entry in one
+frame time, with no overlay/DHT update round."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import MacAddress
+from repro.net.packet import EthernetFrame
+
+__all__ = ["WavSwitch"]
+
+
+class WavSwitch:
+    """MAC address -> WAVNet connection mapping with learning."""
+
+    def __init__(self, owner_name: str = "") -> None:
+        self.owner_name = owner_name
+        self.mac_table: dict[MacAddress, "object"] = {}  # mac -> WavConnection
+        self.frames_unicast = 0
+        self.frames_broadcast = 0
+
+    def learn(self, mac: MacAddress, connection) -> None:
+        self.mac_table[mac] = connection
+
+    def lookup(self, mac: MacAddress) -> Optional[object]:
+        conn = self.mac_table.get(mac)
+        if conn is not None and not conn.usable:
+            del self.mac_table[mac]
+            return None
+        return conn
+
+    def forget_connection(self, connection) -> None:
+        for mac in [m for m, c in self.mac_table.items() if c is connection]:
+            del self.mac_table[mac]
+
+    def select(self, frame: EthernetFrame, connections) -> list:
+        """Connections a captured frame must be sent over: one for a
+        learned unicast MAC, all established ones for broadcast/unknown."""
+        if not frame.dst.is_broadcast:
+            conn = self.lookup(frame.dst)
+            if conn is not None:
+                self.frames_unicast += 1
+                return [conn]
+        self.frames_broadcast += 1
+        return [c for c in connections if c.usable]

@@ -1,0 +1,13 @@
+"""NAT/firewall behavioural models.
+
+Implements the four NAT classes of RFC 3489 that the paper's connection
+layer must traverse (§II.B): Full Cone, Restricted Cone, Port Restricted
+Cone, and Symmetric — with per-flow mapping timeouts that the WAVNet
+CONNECT_PULSE keepalive must refresh.
+"""
+
+from repro.nat.box import NatBox
+from repro.nat.mapping import MappingTable, NatMapping
+from repro.nat.types import NatType
+
+__all__ = ["MappingTable", "NatBox", "NatMapping", "NatType"]

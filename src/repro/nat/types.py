@@ -1,0 +1,52 @@
+"""NAT classification (RFC 3489 taxonomy used by the paper)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["NatType"]
+
+
+class NatType(enum.Enum):
+    """Mapping/filtering behaviour classes.
+
+    * ``FULL_CONE`` — endpoint-independent mapping, no inbound filter.
+    * ``RESTRICTED_CONE`` — endpoint-independent mapping, inbound allowed
+      only from IPs previously contacted.
+    * ``PORT_RESTRICTED`` — inbound allowed only from (IP, port) pairs
+      previously contacted.
+    * ``SYMMETRIC`` — per-destination mapping (a new external port per
+      destination), port-restricted filtering; classic hole punching
+      fails when both sides are symmetric.
+    * ``OPEN`` — no NAT (public host); used by STUN classification.
+    """
+
+    OPEN = "open"
+    FULL_CONE = "full-cone"
+    RESTRICTED_CONE = "restricted-cone"
+    PORT_RESTRICTED = "port-restricted"
+    SYMMETRIC = "symmetric"
+
+    @classmethod
+    def parse(cls, value: "NatType | str") -> "NatType":
+        if isinstance(value, cls):
+            return value
+        for member in cls:
+            if member.value == value:
+                return member
+        raise ValueError(f"unknown NAT type {value!r}")
+
+    @property
+    def endpoint_independent_mapping(self) -> bool:
+        return self is not NatType.SYMMETRIC
+
+    @property
+    def hole_punchable(self) -> bool:
+        """Whether WAVNet's UDP hole punching works against this type
+        (assuming the peer is at most port-restricted)."""
+        return self in (
+            NatType.OPEN,
+            NatType.FULL_CONE,
+            NatType.RESTRICTED_CONE,
+            NatType.PORT_RESTRICTED,
+        )

@@ -1,0 +1,60 @@
+"""Simulated network substrate: L2 Ethernet, links, IP, UDP/TCP/ICMP.
+
+This package is the "physical network" of the reproduction. It provides:
+
+* :mod:`repro.net.addresses` — MAC/IPv4 addressing and CIDR helpers.
+* :mod:`repro.net.packet` — wire formats with byte-accurate size accounting.
+* :mod:`repro.net.l2` — links (latency/bandwidth/loss/queues), learning
+  switches, and software bridges.
+* :mod:`repro.net.stack` — per-host network stack (interfaces, ARP,
+  routing, forwarding) and the :class:`Host` node.
+* :mod:`repro.net.udp`, :mod:`repro.net.tcp`, :mod:`repro.net.icmp` —
+  transport layers (TCP implements Reno congestion control).
+* :mod:`repro.net.wan` — a latency-matrix "Internet cloud" joining site
+  gateways.
+* :mod:`repro.net.dhcp` — minimal DHCP, used to demonstrate L2
+  transparency of the virtual network.
+"""
+
+from repro.net.addresses import (
+    BROADCAST_MAC,
+    IPv4Address,
+    IPv4Network,
+    MacAddress,
+    mac_factory,
+)
+from repro.net.l2 import Bridge, Link, Switch
+from repro.net.packet import (
+    ArpPacket,
+    EthernetFrame,
+    IcmpMessage,
+    IPv4Packet,
+    Payload,
+    TcpSegment,
+    UdpDatagram,
+)
+from repro.net.stack import Host, Interface, NetworkStack, Router
+from repro.net.wan import WanCloud
+
+__all__ = [
+    "ArpPacket",
+    "BROADCAST_MAC",
+    "Bridge",
+    "EthernetFrame",
+    "Host",
+    "IcmpMessage",
+    "IPv4Address",
+    "IPv4Network",
+    "IPv4Packet",
+    "Interface",
+    "Link",
+    "MacAddress",
+    "NetworkStack",
+    "Payload",
+    "Router",
+    "Switch",
+    "TcpSegment",
+    "UdpDatagram",
+    "WanCloud",
+    "mac_factory",
+]

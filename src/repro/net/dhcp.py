@@ -1,0 +1,154 @@
+"""Minimal DHCP over the simulated L2.
+
+The paper's claim that WAVNet connects hosts "as if to an Ethernet
+switch" is exercised by running unmodified DHCP across the virtual
+network: a client on one host's bridge obtains a lease from a server
+living behind a tap on a different continent. Only DISCOVER → OFFER →
+REQUEST → ACK is implemented (enough for the transparency demonstration
+and tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.addresses import BROADCAST_MAC, IPv4Address, IPv4Network, MacAddress
+from repro.net.packet import IPv4Packet, Payload, UdpDatagram, frame_for
+from repro.net.stack import Interface, NetworkStack
+
+__all__ = ["DhcpClient", "DhcpLease", "DhcpServer"]
+
+DHCP_SERVER_PORT = 67
+DHCP_CLIENT_PORT = 68
+ZERO_IP = IPv4Address(0)
+BCAST_IP = IPv4Address((1 << 32) - 1)
+DHCP_MSG_SIZE = 300  # typical BOOTP payload
+
+
+@dataclass(frozen=True)
+class _DhcpMessage:
+    op: str  # discover | offer | request | ack
+    client_mac: MacAddress
+    your_ip: Optional[IPv4Address] = None
+    server_ip: Optional[IPv4Address] = None
+    network: Optional[IPv4Network] = None
+    xid: int = 0
+
+
+@dataclass
+class DhcpLease:
+    ip: IPv4Address
+    network: IPv4Network
+    server: IPv4Address
+
+
+class DhcpServer:
+    """Leases addresses from a pool on one L2 segment."""
+
+    def __init__(self, stack: NetworkStack, iface: Interface, pool: IPv4Network,
+                 first_host: int = 100) -> None:
+        if iface.ip is None:
+            raise ValueError("DHCP server interface needs an address")
+        self.stack = stack
+        self.iface = iface
+        self.pool = pool
+        self.leases: dict[MacAddress, IPv4Address] = {}
+        self._next = first_host
+        self.offers_made = 0
+        self.acks_sent = 0
+        self.sock = stack.udp.bind(DHCP_SERVER_PORT)
+        stack.sim.process(self._serve(), name=f"dhcpd:{stack.name}")
+
+    def _allocate(self, mac: MacAddress) -> IPv4Address:
+        existing = self.leases.get(mac)
+        if existing is not None:
+            return existing
+        ip = self.pool.host(self._next)
+        self._next += 1
+        self.leases[mac] = ip
+        return ip
+
+    def _serve(self):
+        while True:
+            payload, _src_ip, _src_port = yield self.sock.recvfrom()
+            msg: _DhcpMessage = payload.data
+            if msg.op == "discover":
+                ip = self._allocate(msg.client_mac)
+                self.offers_made += 1
+                self._reply(_DhcpMessage("offer", msg.client_mac, your_ip=ip,
+                                         server_ip=self.iface.ip, network=self.pool,
+                                         xid=msg.xid), msg.client_mac)
+            elif msg.op == "request":
+                ip = self._allocate(msg.client_mac)
+                self.acks_sent += 1
+                self._reply(_DhcpMessage("ack", msg.client_mac, your_ip=ip,
+                                         server_ip=self.iface.ip, network=self.pool,
+                                         xid=msg.xid), msg.client_mac)
+
+    def _reply(self, msg: _DhcpMessage, client_mac: MacAddress) -> None:
+        # The client has no IP yet: answer to the broadcast address but
+        # unicast the frame to the client's MAC (standard DHCP behaviour).
+        datagram = UdpDatagram(DHCP_SERVER_PORT, DHCP_CLIENT_PORT,
+                               Payload(DHCP_MSG_SIZE, data=msg, kind="dhcp"))
+        packet = IPv4Packet(self.iface.ip, BCAST_IP, 17, datagram)
+        self.iface.send_frame(frame_for(packet, self.iface.mac, client_mac))
+
+
+class DhcpClient:
+    """Acquires a lease and configures the interface with it."""
+
+    def __init__(self, stack: NetworkStack, iface: Interface, timeout: float = 5.0,
+                 retries: int = 3) -> None:
+        self.stack = stack
+        self.iface = iface
+        self.timeout = timeout
+        self.retries = retries
+        self.lease: Optional[DhcpLease] = None
+
+    def _broadcast(self, msg: _DhcpMessage) -> None:
+        datagram = UdpDatagram(DHCP_CLIENT_PORT, DHCP_SERVER_PORT,
+                               Payload(DHCP_MSG_SIZE, data=msg, kind="dhcp"))
+        packet = IPv4Packet(ZERO_IP, BCAST_IP, 17, datagram)
+        self.iface.send_frame(frame_for(packet, self.iface.mac, BROADCAST_MAC))
+
+    def acquire(self):
+        """Process: run the 4-way exchange; returns a DhcpLease or None."""
+        sim = self.stack.sim
+        sock = self.stack.udp.bind(DHCP_CLIENT_PORT)
+        xid = id(self) & 0xFFFF
+        try:
+            for _attempt in range(self.retries):
+                self._broadcast(_DhcpMessage("discover", self.iface.mac, xid=xid))
+                offer = yield from self._await(sock, "offer", xid)
+                if offer is None:
+                    continue
+                self._broadcast(_DhcpMessage("request", self.iface.mac,
+                                             your_ip=offer.your_ip,
+                                             server_ip=offer.server_ip, xid=xid))
+                ack = yield from self._await(sock, "ack", xid)
+                if ack is None:
+                    continue
+                self.lease = DhcpLease(ack.your_ip, ack.network, ack.server_ip)
+                self.iface.configure(ack.your_ip, ack.network)
+                self.stack.connected_route_for(self.iface)
+                return self.lease
+        finally:
+            sock.close()
+        return None
+
+    def _await(self, sock, op: str, xid: int):
+        sim = self.stack.sim
+        deadline = sim.timeout(self.timeout)
+        pending = None
+        while True:
+            if pending is None:
+                pending = sock.recvfrom()
+            yield sim.any_of([pending, deadline])
+            if not pending.processed:
+                return None
+            payload, _ip, _port = pending.value
+            pending = None
+            msg = payload.data
+            if msg.op == op and msg.xid == xid and msg.client_mac == self.iface.mac:
+                return msg

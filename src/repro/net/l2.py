@@ -1,0 +1,267 @@
+"""Layer-2 plumbing: ports, links, learning switches, software bridges.
+
+The medium model:
+
+* :class:`Port` — attachment point owned by a device (interface, switch,
+  bridge, tap). ``transmit`` pushes a frame into whatever medium the port
+  is connected to; ``deliver`` hands an arriving frame to the owner.
+* :class:`Link` — full-duplex point-to-point wire with propagation delay,
+  serialization at a configured bandwidth, a drop-tail queue, and optional
+  random loss. This is also where ``tc``-style traffic shaping lives
+  (shaping a link is just configuring its bandwidth/queue).
+* :func:`patch` — a zero-cost back-to-back connection (VM vif to bridge
+  port, tap to bridge port).
+* :class:`Switch` — MAC-learning Ethernet switch; :class:`Bridge` is the
+  in-host software variant (Linux ``brctl`` equivalent) with a per-frame
+  CPU cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.net.addresses import MacAddress
+from repro.net.packet import EthernetFrame
+from repro.sim.engine import Simulator
+from repro.sim.queues import Channel
+
+__all__ = ["Bridge", "Link", "Port", "Switch", "patch"]
+
+
+class FrameHandler(Protocol):  # pragma: no cover - typing helper
+    def on_frame(self, frame: EthernetFrame, port: "Port") -> None: ...
+
+
+class Port:
+    """Device attachment point. A port is connected to at most one medium."""
+
+    __slots__ = ("owner", "name", "_medium", "up")
+
+    def __init__(self, owner: FrameHandler, name: str = "") -> None:
+        self.owner = owner
+        self.name = name
+        self._medium: Optional[Callable[[EthernetFrame], None]] = None
+        self.up = True
+
+    @property
+    def connected(self) -> bool:
+        return self._medium is not None
+
+    def connect(self, medium: Callable[[EthernetFrame], None]) -> None:
+        if self._medium is not None:
+            raise RuntimeError(f"port {self.name!r} already connected")
+        self._medium = medium
+
+    def disconnect(self) -> None:
+        self._medium = None
+
+    def transmit(self, frame: EthernetFrame) -> None:
+        """Push a frame out of the device into the medium (if any)."""
+        if self._medium is not None and self.up:
+            self._medium(frame)
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        """Hand an arriving frame to the owning device."""
+        if self.up:
+            self.owner.on_frame(frame, self)
+
+
+def patch(a: Port, b: Port) -> None:
+    """Connect two ports back-to-back with zero delay (virtual patch cable)."""
+    a.connect(b.deliver)
+    b.connect(a.deliver)
+
+
+class _Pipe:
+    """One direction of a link: queue -> serializer -> propagation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dst: Port,
+        latency: float,
+        bandwidth_bps: Optional[float],
+        queue_capacity: int,
+        loss: float,
+        loss_rng,
+        name: str,
+    ) -> None:
+        self.sim = sim
+        self.dst = dst
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        self.loss = loss
+        self._loss_rng = loss_rng
+        self.name = name
+        self.queue = Channel(sim, capacity=queue_capacity)
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.frames_lost = 0
+        sim.process(self._transmitter(), name=f"pipe:{name}")
+
+    def send(self, frame: EthernetFrame) -> None:
+        self.queue.offer(frame)  # drop-tail on overflow (counted by Channel)
+
+    @property
+    def drops(self) -> int:
+        return self.queue.drops
+
+    def _transmitter(self):
+        sim = self.sim
+        while True:
+            frame = yield self.queue.get()
+            if self.bandwidth_bps:
+                yield sim.timeout(frame.size * 8.0 / self.bandwidth_bps)
+            self.bytes_sent += frame.size
+            self.frames_sent += 1
+            if self.loss > 0.0 and self._loss_rng.random() < self.loss:
+                self.frames_lost += 1
+                continue
+            sim.call_in(self.latency, _Delivery(self.dst, frame))
+
+
+class _Delivery:
+    """Bound frame delivery; avoids closure allocation churn on hot path."""
+
+    __slots__ = ("port", "frame")
+
+    def __init__(self, port: Port, frame: EthernetFrame) -> None:
+        self.port = port
+        self.frame = frame
+
+    def __call__(self) -> None:
+        self.port.deliver(self.frame)
+
+
+class Link:
+    """Full-duplex point-to-point link between two ports.
+
+    ``bandwidth_bps=None`` means no serialization delay (used for the WAN
+    cloud's internal pipes where the bottleneck is modeled at access
+    links). ``loss`` is an i.i.d. per-frame drop probability.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Port,
+        b: Port,
+        latency: float = 0.0,
+        bandwidth_bps: Optional[float] = None,
+        queue_capacity: int = 128,
+        loss: float = 0.0,
+        name: str = "link",
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0,1), got {loss}")
+        self.sim = sim
+        self.name = name
+        rng = sim.rng.stream(f"link.loss.{name}")
+        self.ab = _Pipe(sim, b, latency, bandwidth_bps, queue_capacity, loss, rng, f"{name}.ab")
+        self.ba = _Pipe(sim, a, latency, bandwidth_bps, queue_capacity, loss, rng, f"{name}.ba")
+        a.connect(self.ab.send)
+        b.connect(self.ba.send)
+
+    def set_bandwidth(self, bandwidth_bps: Optional[float]) -> None:
+        """``tc``-style reshaping of both directions."""
+        self.ab.bandwidth_bps = bandwidth_bps
+        self.ba.bandwidth_bps = bandwidth_bps
+
+    def set_latency(self, latency: float) -> None:
+        self.ab.latency = latency
+        self.ba.latency = latency
+
+    @property
+    def total_bytes(self) -> int:
+        return self.ab.bytes_sent + self.ba.bytes_sent
+
+
+class Switch:
+    """MAC-learning Ethernet switch.
+
+    Frames to learned unicast MACs go out one port; broadcast and unknown
+    destinations flood all other ports. ``forward_delay`` models the
+    per-frame switching cost.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "switch",
+        forward_delay: float = 5e-6,
+        mac_age_limit: float = 300.0,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.forward_delay = forward_delay
+        self.mac_age_limit = mac_age_limit
+        self.ports: list[Port] = []
+        self.mac_table: dict[MacAddress, tuple[Port, float]] = {}
+        self.frames_forwarded = 0
+        self.frames_flooded = 0
+
+    def new_port(self, name: str = "") -> Port:
+        port = Port(self, name or f"{self.name}.p{len(self.ports)}")
+        self.ports.append(port)
+        return port
+
+    def remove_port(self, port: Port) -> None:
+        self.ports.remove(port)
+        for mac, (p, _t) in list(self.mac_table.items()):
+            if p is port:
+                del self.mac_table[mac]
+
+    def lookup(self, mac: MacAddress) -> Optional[Port]:
+        entry = self.mac_table.get(mac)
+        if entry is None:
+            return None
+        port, when = entry
+        if self.sim.now - when > self.mac_age_limit:
+            del self.mac_table[mac]
+            return None
+        return port
+
+    def on_frame(self, frame: EthernetFrame, in_port: Port) -> None:
+        # Learn the sender's location (moves on migration are picked up
+        # here: a gratuitous ARP from a new port rewrites the entry).
+        self.mac_table[frame.src] = (in_port, self.sim.now)
+        out = None if frame.dst.is_broadcast else self.lookup(frame.dst)
+        if out is not None and out is not in_port:
+            self.frames_forwarded += 1
+            self._emit(out, frame)
+        elif out is None:
+            self.frames_flooded += 1
+            for port in self.ports:
+                if port is not in_port:
+                    self._emit(port, frame)
+        # out is in_port: destination is on the segment it came from; drop.
+
+    def _emit(self, port: Port, frame: EthernetFrame) -> None:
+        if self.forward_delay > 0:
+            self.sim.call_in(self.forward_delay, _PortEmit(port, frame))
+        else:
+            port.transmit(frame)
+
+
+class _PortEmit:
+    __slots__ = ("port", "frame")
+
+    def __init__(self, port: Port, frame: EthernetFrame) -> None:
+        self.port = port
+        self.frame = frame
+
+    def __call__(self) -> None:
+        self.port.transmit(self.frame)
+
+
+class Bridge(Switch):
+    """In-host software bridge (the Xen/``brctl`` bridge of Fig 5).
+
+    Semantically a switch; the default per-frame cost is higher because
+    frames cross the host CPU.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "br0", forward_delay: float = 15e-6) -> None:
+        super().__init__(sim, name=name, forward_delay=forward_delay)

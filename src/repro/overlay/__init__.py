@@ -1,0 +1,16 @@
+"""Rendezvous overlay: CAN (Content-Addressable Network) + host registry.
+
+The paper organizes rendezvous servers in a CAN (Ratnasamy et al. 2001):
+each server owns a zone of a d-dimensional coordinate space; host
+resource states map to points; queries route greedily through zone
+neighbors. On top of the CAN sit the WAVNet-specific services: host
+registration, connection brokering (Fig 3 steps 1-4), and the distance
+locator used by the grouping strategy (§II.D).
+"""
+
+from repro.overlay.can import CanNode
+from repro.overlay.rendezvous import RendezvousServer
+from repro.overlay.resources import ResourceRecord, ResourceSpec
+from repro.overlay.space import Point, Zone
+
+__all__ = ["CanNode", "Point", "RendezvousServer", "ResourceRecord", "ResourceSpec", "Zone"]

@@ -1,0 +1,338 @@
+"""CAN node: zone ownership, greedy routing, join/leave, resource store.
+
+Protocol (all RPC over UDP between public rendezvous hosts):
+
+* ``can.join``    — routed to the owner of the joiner's point; the owner
+  splits its zone and replies with the joiner's half, the records that
+  fall in it, and the neighbor set.
+* ``can.route``   — generic greedy routing envelope: carried operation is
+  executed at the point's owner, the reply unwinds hop-by-hop.
+* ``can.nbr``     — neighbor announcement/refresh (zones + address).
+* ``can.leave``   — graceful departure: zone and records handed to the
+  merge-compatible neighbor, or to the smallest neighbor as an extra
+  zone (nodes may own several zones, as in the CAN paper's takeover).
+
+Routing metric: forward to the neighbor whose zone-set is closest (torus
+distance) to the destination point, strictly decreasing; the owner
+executes the operation. Hop-by-hop latency is real simulated network
+latency — this is what makes resource-query timing in the benchmarks
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.addresses import IPv4Address
+from repro.overlay.resources import ResourceRecord
+from repro.overlay.rpc import RpcEndpoint, RpcError, RpcTimeout
+from repro.overlay.space import Point, Zone
+
+__all__ = ["CanNode", "NeighborInfo"]
+
+CAN_PORT = 4000
+MAX_HOPS = 64
+
+
+@dataclass
+class NeighborInfo:
+    node_id: str
+    ip: IPv4Address
+    port: int
+    zones: list = field(default_factory=list)
+    last_seen: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return 24 + 16 * len(self.zones)
+
+
+@dataclass(frozen=True)
+class _JoinGrant:
+    zone: Zone
+    records: tuple
+    neighbors: tuple  # NeighborInfo snapshots
+
+    @property
+    def size(self) -> int:
+        return 64 + sum(r.size for r in self.records) + sum(n.size for n in self.neighbors)
+
+
+@dataclass(frozen=True)
+class _RouteOp:
+    """An operation being routed to the owner of ``point``."""
+
+    point: Point
+    op: str  # 'put' | 'get' | 'remove'
+    body: Any
+    hops: int = 0
+
+    @property
+    def size(self) -> int:
+        return 24 + 8 * len(self.point) + (getattr(self.body, "size", 16) or 16)
+
+
+class CanNode:
+    """A CAN overlay node living on a public host."""
+
+    def __init__(self, host, dims: int = 2, port: int = CAN_PORT,
+                 node_id: Optional[str] = None,
+                 ping_interval: float = 10.0, record_ttl: float = 120.0) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.node_id = node_id or host.name
+        self.dims = dims
+        self.port = port
+        self.ip: IPv4Address = host.stack.ips[0]
+        self.zones: list[Zone] = []
+        self.neighbors: dict[str, NeighborInfo] = {}
+        self.records: dict[str, ResourceRecord] = {}
+        self.ping_interval = ping_interval
+        self.record_ttl = record_ttl
+        self.joined = False
+        self.routed_ops = 0
+        self.rpc = RpcEndpoint(host.stack, host.udp.bind(port), name=f"can:{self.node_id}")
+        self.rpc.register("can.route", self._on_route)
+        self.rpc.register("can.nbr", self._on_neighbor)
+        self.rpc.register("can.leave", self._on_leave)
+        self._pinger = None
+
+    # -- membership -----------------------------------------------------
+    def bootstrap(self) -> None:
+        """Become the first node: own the whole space."""
+        self.zones = [Zone.whole(self.dims)]
+        self.joined = True
+        self._start_pinger()
+
+    def join_via(self, bootstrap_ip: IPv4Address, bootstrap_port: int = CAN_PORT):
+        """Process: join the overlay through an existing node."""
+        rng = self.sim.rng.stream(f"can.join.{self.node_id}")
+        point = tuple(float(x) for x in rng.random(self.dims))
+        me = self._my_info()
+        grant: _JoinGrant = yield from self.rpc.call(
+            bootstrap_ip, bootstrap_port, "can.route",
+            _RouteOp(point, "join", me), timeout=5.0)
+        self.zones = [grant.zone]
+        for record in grant.records:
+            self.records[record.host_name] = record
+        for info in grant.neighbors:
+            if info.node_id != self.node_id:
+                self.neighbors[info.node_id] = info
+        self.joined = True
+        self._announce_to_neighbors()
+        self._prune_non_neighbors()
+        self._start_pinger()
+        return self
+
+    def leave(self):
+        """Process: graceful departure — hand zones and records to a
+        neighbor (merge-compatible if possible, else smallest)."""
+        if not self.joined:
+            return None
+        target = self._handover_target()
+        if target is not None:
+            yield from self.rpc.call(
+                target.ip, target.port, "can.leave",
+                _LeavePayload(self._my_info(), tuple(self.zones),
+                              tuple(self.records.values())), timeout=5.0)
+        self.joined = False
+        self.zones = []
+        self.records.clear()
+        if self._pinger is not None and self._pinger.is_alive:
+            self._pinger.interrupt("leaving")
+        return None
+
+    def _handover_target(self) -> Optional[NeighborInfo]:
+        if not self.neighbors:
+            return None
+        # Prefer a neighbor that can absorb us into a clean box.
+        for info in self.neighbors.values():
+            for nz in info.zones:
+                if any(z.can_merge(nz) for z in self.zones):
+                    return info
+        return min(self.neighbors.values(),
+                   key=lambda i: sum(z.volume() for z in i.zones))
+
+    # -- geometry helpers ------------------------------------------------
+    def owns(self, point: Point) -> bool:
+        return any(z.contains(point) for z in self.zones)
+
+    def distance_to(self, point: Point) -> float:
+        if not self.zones:
+            return float("inf")
+        return min(z.distance_to_point(point) for z in self.zones)
+
+    def _my_info(self) -> NeighborInfo:
+        return NeighborInfo(self.node_id, self.ip, self.port,
+                            zones=list(self.zones), last_seen=self.sim.now)
+
+    def _is_neighbor(self, info: NeighborInfo) -> bool:
+        for mine in self.zones:
+            for theirs in info.zones:
+                if mine.is_neighbor(theirs):
+                    return True
+        return False
+
+    def _prune_non_neighbors(self) -> None:
+        for node_id in list(self.neighbors):
+            if not self._is_neighbor(self.neighbors[node_id]):
+                del self.neighbors[node_id]
+
+    def _announce_to_neighbors(self) -> None:
+        me = self._my_info()
+        for info in self.neighbors.values():
+            self.rpc.notify(info.ip, info.port, "can.nbr", me)
+
+    # -- periodic maintenance ----------------------------------------------
+    def _start_pinger(self) -> None:
+        self._pinger = self.sim.process(self._ping_loop(), name=f"can-ping:{self.node_id}")
+
+    def _ping_loop(self):
+        from repro.sim.engine import Interrupt
+        try:
+            while self.joined:
+                yield self.sim.timeout(self.ping_interval)
+                self._announce_to_neighbors()
+                self._expire_records()
+                self._expire_neighbors()
+        except Interrupt:
+            return
+
+    def _expire_records(self) -> None:
+        now = self.sim.now
+        for name in [n for n, r in self.records.items() if r.expired(now)]:
+            del self.records[name]
+
+    def _expire_neighbors(self) -> None:
+        horizon = self.sim.now - 3 * self.ping_interval - 1e-9
+        for node_id in list(self.neighbors):
+            if 0 < self.neighbors[node_id].last_seen < horizon:
+                del self.neighbors[node_id]
+
+    # -- routing --------------------------------------------------------------
+    def route(self, op: str, point: Point, body: Any, timeout: float = 5.0):
+        """Process: execute ``op`` at the owner of ``point``; returns result."""
+        request = _RouteOp(point, op, body)
+        if self.owns(point):
+            return self._execute(request)
+        nxt = self._next_hop(point)
+        if nxt is None:
+            raise RpcTimeout(f"no route toward {point}")
+        result = yield from self.rpc.call(nxt.ip, nxt.port, "can.route", request,
+                                          timeout=timeout)
+        return result
+
+    def _next_hop(self, point: Point, exclude: Optional[set] = None) -> Optional[NeighborInfo]:
+        best: Optional[NeighborInfo] = None
+        best_d = self.distance_to(point)
+        for info in self.neighbors.values():
+            if exclude and info.node_id in exclude:
+                continue
+            d = min((z.distance_to_point(point) for z in info.zones), default=float("inf"))
+            if d < best_d - 1e-15:
+                best_d = d
+                best = info
+        return best
+
+    def _on_route(self, op: _RouteOp, _src_ip, _src_port):
+        self.routed_ops += 1
+        if self.owns(op.point):
+            return self._execute(op)
+        if op.hops >= MAX_HOPS:
+            raise_err = RpcError(f"hop limit reached at {self.node_id}")
+            raise raise_err
+
+        def forward():
+            nxt = self._next_hop(op.point)
+            if nxt is None:
+                raise RpcError(f"routing dead end at {self.node_id} for {op.point}")
+            fwd = _RouteOp(op.point, op.op, op.body, hops=op.hops + 1)
+            result = yield from self.rpc.call(nxt.ip, nxt.port, "can.route", fwd)
+            return result
+
+        return forward()
+
+    # -- operations executed at the owner --------------------------------------
+    def _execute(self, op: _RouteOp):
+        if op.op == "put":
+            record: ResourceRecord = op.body
+            self.records[record.host_name] = record.refreshed(self.sim.now + self.record_ttl)
+            return ("stored", self.node_id)
+        if op.op == "remove":
+            self.records.pop(op.body, None)
+            return ("removed", self.node_id)
+        if op.op == "get":
+            limit = int(op.body) if op.body else 16
+            now = self.sim.now
+            live = [r for r in self.records.values() if not r.expired(now)]
+            live.sort(key=lambda r: sum((a - b) ** 2 for a, b in zip(r.point, op.point)))
+            return tuple(live[:limit])
+        if op.op == "join":
+            return self._admit(op.body)
+        raise RpcError(f"unknown CAN op {op.op!r}")
+
+    def _admit(self, joiner: NeighborInfo) -> _JoinGrant:
+        """Split the zone covering the joiner's point and grant half."""
+        # Split the largest zone we own (classic CAN splits the zone that
+        # contains the join point; with multi-zone takeover state, the
+        # containing zone is the right choice when we have it).
+        zone = max(self.zones, key=lambda z: z.volume())
+        self.zones.remove(zone)
+        lower, upper = zone.split()
+        # Keep the half containing more of our records; grant the other.
+        mine, granted = lower, upper
+        self.zones.append(mine)
+        moved = tuple(r for r in self.records.values() if granted.contains(r.point))
+        for record in moved:
+            del self.records[record.host_name]
+        joiner_info = NeighborInfo(joiner.node_id, joiner.ip, joiner.port,
+                                   zones=[granted], last_seen=self.sim.now)
+        # Neighbor set for the joiner: us + any of our neighbors abutting it.
+        grant_neighbors = [self._my_info()]
+        for info in self.neighbors.values():
+            if any(granted.is_neighbor(nz) for nz in info.zones):
+                grant_neighbors.append(info)
+        self.neighbors[joiner.node_id] = joiner_info
+        self._prune_non_neighbors()
+        self._announce_to_neighbors()
+        return _JoinGrant(granted, moved, tuple(grant_neighbors))
+
+    # -- inbound notifications ---------------------------------------------------
+    def _on_neighbor(self, info: NeighborInfo, _src_ip, _src_port):
+        if info.node_id == self.node_id:
+            return None
+        info.last_seen = self.sim.now
+        if self._is_neighbor(info):
+            self.neighbors[info.node_id] = info
+        else:
+            self.neighbors.pop(info.node_id, None)
+        return None
+
+    def _on_leave(self, payload: "_LeavePayload", _src_ip, _src_port):
+        # Absorb zones (merging into boxes where possible) and records.
+        for zone in payload.zones:
+            merged = False
+            for i, mine in enumerate(self.zones):
+                if mine.can_merge(zone):
+                    self.zones[i] = mine.merge(zone)
+                    merged = True
+                    break
+            if not merged:
+                self.zones.append(zone)
+        for record in payload.records:
+            self.records[record.host_name] = record
+        self.neighbors.pop(payload.leaver.node_id, None)
+        self._announce_to_neighbors()
+        return ("absorbed", self.node_id)
+
+
+@dataclass(frozen=True)
+class _LeavePayload:
+    leaver: NeighborInfo
+    zones: tuple
+    records: tuple
+
+    @property
+    def size(self) -> int:
+        return 32 + 16 * len(self.zones) + sum(r.size for r in self.records)

@@ -1,0 +1,252 @@
+"""Rendezvous server: CAN node + host registry + connection brokering.
+
+This is the paper's "rendezvous server" (Fig 1-3): a public host that
+
+1. admits desktop hosts into WAVNet (registration over the maintained
+   UDP connection — the same flow whose NAT mapping later carries
+   connection notifications);
+2. publishes each host's resource state into the CAN so queries can be
+   routed to it;
+3. brokers direct host-to-host connection setup: steps 1-4 of Fig 3 —
+   query routed over the CAN, rendezvous-to-rendezvous exchange, then
+   both hosts receive the mutual connection information and punch;
+4. runs the distance locator that feeds the locality-sensitive grouping
+   strategy (§II.D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.addresses import IPv4Address
+from repro.overlay.can import CAN_PORT, CanNode
+from repro.overlay.resources import ConnectionInfo, ResourceRecord, ResourceSpec
+from repro.overlay.rpc import RpcEndpoint, RpcError
+from repro.sim.engine import Simulator
+
+__all__ = ["RegisteredHost", "RendezvousServer", "RENDEZVOUS_PORT"]
+
+RENDEZVOUS_PORT = 4001
+HOST_TTL = 60.0
+
+
+@dataclass
+class RegisteredHost:
+    """A desktop host admitted through this rendezvous server."""
+
+    name: str
+    # Endpoint this server can reach the host at (the NAT mapping opened
+    # by the host's registration/keepalive flow).
+    reach_ip: IPv4Address
+    reach_port: int
+    conn: ConnectionInfo
+    attrs: dict
+    last_seen: float
+
+    @property
+    def size(self) -> int:
+        return 48
+
+
+@dataclass(frozen=True)
+class _RegisterBody:
+    name: str
+    conn: ConnectionInfo
+    attrs: dict
+
+    @property
+    def size(self) -> int:
+        return 48 + 8 * len(self.attrs)
+
+
+@dataclass(frozen=True)
+class _ConnectBody:
+    """a1 asks its rendezvous to broker a connection to ``target``."""
+
+    requester: str
+    requester_conn: ConnectionInfo
+    target: str
+    target_rendezvous_ip: IPv4Address
+    target_rendezvous_port: int
+
+    @property
+    def size(self) -> int:
+        return 64
+
+
+@dataclass(frozen=True)
+class _PunchNotice:
+    """Delivered to a host: punch toward this peer now."""
+
+    peer_name: str
+    peer_conn: ConnectionInfo
+
+    @property
+    def size(self) -> int:
+        return 48
+
+
+class RendezvousServer:
+    """One rendezvous server (public host) with its CAN node."""
+
+    def __init__(self, host, spec: Optional[ResourceSpec] = None,
+                 can_dims: int = 2, port: int = RENDEZVOUS_PORT,
+                 can_port: int = CAN_PORT, host_ttl: float = HOST_TTL) -> None:
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.spec = spec or ResourceSpec()
+        self.port = port
+        self.host_ttl = host_ttl
+        self.ip: IPv4Address = host.stack.ips[0]
+        self.can = CanNode(host, dims=self.spec.dims, port=can_port)
+        self.hosts: dict[str, RegisteredHost] = {}
+        self.latency_reports: dict[tuple[str, str], float] = {}
+        self.connects_brokered = 0
+        self.frames_relayed = 0
+        sock = host.udp.bind(port)
+        self.rpc = RpcEndpoint(host.stack, sock, name=f"rvz:{host.name}",
+                               own_loop=False)
+        self.sim.process(self._rx_loop(sock), name=f"rvz-rx:{host.name}")
+        self.rpc.register("rvz.register", self._on_register)
+        self.rpc.register("rvz.keepalive", self._on_keepalive)
+        self.rpc.register("rvz.query", self._on_query)
+        self.rpc.register("rvz.connect", self._on_connect)
+        self.rpc.register("rvz.relay_connect", self._on_relay_connect)
+        self.rpc.register("rvz.latency_report", self._on_latency_report)
+
+    def _rx_loop(self, sock):
+        """Demultiplex the rendezvous socket: RPC envelopes to the RPC
+        endpoint, relayed tunnel payloads (symmetric-NAT fallback) to the
+        target host's registered endpoint."""
+        from repro.core.assembler import WavRelay
+        from repro.net.packet import Payload
+
+        while True:
+            payload, src_ip, src_port = yield sock.recvfrom()
+            body = payload.data
+            if isinstance(body, WavRelay):
+                reg = self.hosts.get(body.target)
+                if reg is not None:
+                    self.frames_relayed += 1
+                    sock.sendto(reg.reach_ip, reg.reach_port,
+                                Payload(payload.size, data=body, kind="wav"))
+                continue
+            self.rpc.handle_datagram(payload, src_ip, src_port)
+
+    # -- overlay membership --------------------------------------------------
+    def bootstrap(self) -> None:
+        self.can.bootstrap()
+
+    def join_via(self, other: "RendezvousServer"):
+        return self.can.join_via(other.ip, other.can.port)
+
+    # -- host admission --------------------------------------------------------
+    def _record_for(self, reg: RegisteredHost) -> ResourceRecord:
+        point = self.spec.to_point(**reg.attrs)
+        return ResourceRecord(reg.name, point, dict(reg.attrs), reg.conn)
+
+    def _on_register(self, body: _RegisterBody, src_ip: IPv4Address, src_port: int):
+        reg = RegisteredHost(body.name, src_ip, src_port, body.conn,
+                             dict(body.attrs), self.sim.now)
+        self.hosts[body.name] = reg
+
+        def publish():
+            record = self._record_for(reg)
+            yield from self.can.route("put", record.point, record)
+            return ("registered", self.host.name)
+
+        return publish()
+
+    def _on_keepalive(self, body, src_ip: IPv4Address, src_port: int):
+        name, attrs = body
+        reg = self.hosts.get(name)
+        if reg is None:
+            raise RpcError(f"{name!r} not registered")
+        reg.last_seen = self.sim.now
+        reg.reach_ip, reg.reach_port = src_ip, src_port
+        if attrs:
+            reg.attrs = dict(attrs)
+
+        def refresh():
+            record = self._record_for(reg)
+            yield from self.can.route("put", record.point, record)
+            return ("ok", self.host.name)
+
+        return refresh()
+
+    # -- resource discovery -----------------------------------------------------
+    def _on_query(self, body, _src_ip, _src_port):
+        """Query: (attrs dict, limit) -> records near the requested point."""
+        attrs, limit = body
+
+        def run():
+            point = self.spec.to_point(**attrs)
+            records = yield from self.can.route("get", point, int(limit))
+            return records
+
+        return run()
+
+    # -- connection brokering (Fig 3 steps 2-3) ------------------------------
+    def _on_connect(self, body: _ConnectBody, _src_ip, _src_port):
+        """Requester's rendezvous (node A): exchange info with node B."""
+        self.connects_brokered += 1
+
+        def run():
+            if (body.target_rendezvous_ip == self.ip
+                    and body.target_rendezvous_port == self.port):
+                result = yield from self._relay_local(body)
+                return result
+            result = yield from self.rpc.call(
+                body.target_rendezvous_ip, body.target_rendezvous_port,
+                "rvz.relay_connect", body, timeout=5.0)
+            return result
+
+        return run()
+
+    def _on_relay_connect(self, body: _ConnectBody, _src_ip, _src_port):
+        """Target's rendezvous (node B): notify b1, reply with its info."""
+        return self._relay_local(body)
+
+    def _relay_local(self, body: _ConnectBody):
+        reg = self.hosts.get(body.target)
+        if reg is None:
+            raise RpcError(f"host {body.target!r} not registered here")
+        # Step 3: tell b1 to start punching toward a1.
+        self.rpc.notify(reg.reach_ip, reg.reach_port, "wav.punch",
+                        _PunchNotice(body.requester, body.requester_conn))
+        if False:
+            yield  # pragma: no cover - keeps this a generator for uniformity
+        return _PunchNotice(body.target, reg.conn)
+
+    # -- distance locator --------------------------------------------------------
+    def _on_latency_report(self, body, _src_ip, _src_port):
+        """Hosts report measured RTTs: (reporter, {peer_name: rtt_seconds})."""
+        reporter, rtts = body
+        for peer, rtt in rtts.items():
+            self.latency_reports[(reporter, peer)] = rtt
+            self.latency_reports[(peer, reporter)] = rtt  # symmetry (Eq. 2)
+        return ("ok", len(rtts))
+
+    def latency_matrix(self) -> "tuple[list[str], Any]":
+        """(names, NxN numpy matrix) from accumulated reports (NaN where
+        unmeasured) — the distance locator state used for grouping."""
+        import numpy as np
+
+        names = sorted({a for a, _b in self.latency_reports}
+                       | {b for _a, b in self.latency_reports}
+                       | set(self.hosts))
+        index = {n: i for i, n in enumerate(names)}
+        matrix = np.full((len(names), len(names)), np.nan)
+        np.fill_diagonal(matrix, 0.0)
+        for (a, b), rtt in self.latency_reports.items():
+            matrix[index[a], index[b]] = rtt
+        return names, matrix
+
+    # -- liveness -----------------------------------------------------------------
+    def expire_hosts(self) -> list[str]:
+        horizon = self.sim.now - self.host_ttl
+        gone = [n for n, reg in self.hosts.items() if reg.last_seen < horizon]
+        for name in gone:
+            del self.hosts[name]
+        return gone

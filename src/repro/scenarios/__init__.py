@@ -1,0 +1,19 @@
+"""Topology builders for the paper's three evaluation environments.
+
+* :mod:`repro.scenarios.builder` — generic assembly helpers (host pairs,
+  LANs, NATed sites on a WAN cloud).
+* :mod:`repro.scenarios.sites` — the 7-site real-WAN testbed of Table I.
+* :mod:`repro.scenarios.emulated` — the 64-host emulated WAN.
+* :mod:`repro.scenarios.planetlab` — synthetic 400-host latency matrices
+  for the grouping experiments (Figs 12-14).
+"""
+
+from repro.scenarios.builder import (
+    Lan,
+    NattedSite,
+    host_pair,
+    make_lan,
+    make_natted_site,
+)
+
+__all__ = ["Lan", "NattedSite", "host_pair", "make_lan", "make_natted_site"]

@@ -1,0 +1,44 @@
+"""The emulated WAN of §III: up to 64 hosts, tc-shaped bandwidth.
+
+The paper's lab emulation connects machines through fast Ethernet
+switches, adds NAT gateways via iptables, and shapes the "WAN" rate with
+``tc``. Here each host is its own NATed site; the shaped WAN rate is the
+site's access-link bandwidth, and the switch fabric is the low-latency
+cloud."""
+
+from __future__ import annotations
+
+from repro.scenarios.wavnet_env import WavnetEnvironment
+from repro.sim.engine import Simulator
+
+__all__ = ["build_emulated_wan"]
+
+
+def build_emulated_wan(
+    sim: Simulator,
+    n_hosts: int,
+    wan_bandwidth_bps: float = 100e6,
+    wan_latency: float = 0.0005,
+    nat_type: str = "port-restricted",
+    tcp_mss: int = 1460,
+    pulse_interval: float = 5.0,
+    udp_timeout: float = 60.0,
+    tcp_send_buf: int = 262144,
+    tcp_recv_buf: int = 262144,
+) -> "tuple[WavnetEnvironment, list[WavnetHost]]":
+    """Build the emulated WAN with ``n_hosts`` NATed hosts."""
+    env = WavnetEnvironment(sim, default_latency=wan_latency)
+    hosts = []
+    for i in range(n_hosts):
+        hosts.append(env.add_host(
+            f"n{i:02d}",
+            nat_type=nat_type,
+            access_bandwidth_bps=wan_bandwidth_bps,
+            access_latency=0.0002,
+            udp_timeout=udp_timeout,
+            tcp_mss=tcp_mss,
+            tcp_send_buf=tcp_send_buf,
+            tcp_recv_buf=tcp_recv_buf,
+            pulse_interval=pulse_interval,
+        ))
+    return env, hosts

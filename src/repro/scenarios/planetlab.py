@@ -1,0 +1,84 @@
+"""Synthetic PlanetLab-like latency matrices (Figs 12-14).
+
+The paper measures ~80 000 host pairs over 400 PlanetLab hosts. We
+cannot reach PlanetLab (retired), so we generate matrices with the same
+structure its published measurements show:
+
+* two-level locality — hosts cluster into *sites* (sub-millisecond to a
+  few ms apart) inside *regions* (tens of ms), with inter-region RTTs
+  from ~60 to ~350 ms;
+* symmetry (the paper's Eq. 2) by construction;
+* approximate transitivity (Eq. 3) because latencies derive from region
+  coordinates;
+* a heavy tail: a small fraction of pathological pairs reaching seconds
+  (the up-to-10 s outliers of Fig 12a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.latency import LatencyMatrix
+
+__all__ = ["planetlab_latency_matrix"]
+
+N_REGIONS = 12
+SITE_SIZE_RANGE = (2, 8)
+
+
+def planetlab_latency_matrix(
+    n_hosts: int = 400,
+    seed: int = 0,
+    outlier_fraction: float = 0.012,
+    jitter_sigma: float = 0.18,
+) -> LatencyMatrix:
+    """Generate a symmetric n x n RTT matrix (seconds)."""
+    rng = np.random.default_rng(seed)
+    # Regions on a ring: inter-region base RTT from angular distance.
+    region_angle = rng.uniform(0, 2 * np.pi, size=N_REGIONS)
+    region_weight = rng.dirichlet(np.ones(N_REGIONS) * 2.0)
+
+    # Assign hosts to sites inside regions.
+    host_region = np.empty(n_hosts, dtype=int)
+    host_site = np.empty(n_hosts, dtype=int)
+    site_counter = 0
+    i = 0
+    while i < n_hosts:
+        region = int(rng.choice(N_REGIONS, p=region_weight))
+        size = int(rng.integers(SITE_SIZE_RANGE[0], SITE_SIZE_RANGE[1] + 1))
+        size = min(size, n_hosts - i)
+        host_region[i:i + size] = region
+        host_site[i:i + size] = site_counter
+        site_counter += 1
+        i += size
+
+    # Base distances.
+    ang = region_angle[host_region]
+    dtheta = np.abs(ang[:, None] - ang[None, :])
+    dtheta = np.minimum(dtheta, 2 * np.pi - dtheta)
+    inter_base = 0.060 + 0.290 * dtheta / np.pi          # 60..350 ms
+    same_region = host_region[:, None] == host_region[None, :]
+    same_site = host_site[:, None] == host_site[None, :]
+    base = np.where(same_site, rng.uniform(0.0004, 0.004),
+                    np.where(same_region, rng.uniform(0.008, 0.055), inter_base))
+
+    # Symmetric multiplicative jitter.
+    jitter = rng.lognormal(mean=0.0, sigma=jitter_sigma, size=(n_hosts, n_hosts))
+    m = base * jitter
+    m = (m + m.T) / 2.0
+
+    # Heavy tail: *overloaded hosts* (Fig 12a's seconds-scale outliers).
+    # On PlanetLab the pathological latencies cluster on specific loaded
+    # nodes — every pair touching such a node is slow — rather than on
+    # random pairs. This is what lets the grouping algorithm (Fig 13)
+    # find large outlier-free clusters by simply avoiding those hosts.
+    n_bad = max(int(outlier_fraction * n_hosts * 4), 1)
+    bad_hosts = rng.choice(n_hosts, size=n_bad, replace=False)
+    for host in bad_hosts:
+        mult = 1.0 + float(rng.lognormal(mean=3.0, sigma=0.9))  # x5 .. x200
+        m[host, :] = np.minimum(m[host, :] * mult, 10.0)
+        m[:, host] = m[host, :]
+
+    np.fill_diagonal(m, 0.0)
+    names = [f"pl{i:03d}" for i in range(n_hosts)]
+    return LatencyMatrix.from_array(names, m)

@@ -1,0 +1,156 @@
+"""Complete WAVNet deployments: cloud, STUN, rendezvous layer, hosts.
+
+:class:`WavnetEnvironment` assembles everything a WAVNet experiment
+needs and exposes the knobs the paper's evaluation varies: NAT types,
+site latencies/bandwidths, number of hosts, keepalive period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.driver import WavnetDriver
+from repro.net.addresses import IPv4Address
+from repro.net.stack import Host
+from repro.net.wan import WanCloud
+from repro.overlay.rendezvous import RendezvousServer
+from repro.overlay.resources import ResourceSpec
+from repro.scenarios.builder import NattedSite, make_natted_site, make_public_host
+from repro.sim.engine import Simulator
+from repro.stun.server import StunServerPair
+
+__all__ = ["WavnetEnvironment", "WavnetHost"]
+
+
+@dataclass
+class WavnetHost:
+    """One desktop host participating in WAVNet."""
+
+    host: Host
+    driver: WavnetDriver
+    site: Optional[NattedSite] = None
+
+    @property
+    def name(self) -> str:
+        return self.driver.name
+
+    @property
+    def virtual_ip(self) -> IPv4Address:
+        return self.driver.virtual_ip
+
+
+class WavnetEnvironment:
+    """A WAN with STUN + rendezvous infrastructure and WAVNet hosts."""
+
+    def __init__(self, sim: Simulator, default_latency: float = 0.025,
+                 n_rendezvous: int = 1, spec: Optional[ResourceSpec] = None,
+                 virtual_network: str = "10.99.0.0/16") -> None:
+        self.sim = sim
+        self.cloud = WanCloud(sim, default_latency=default_latency)
+        self.stun = StunServerPair(sim, self.cloud)
+        self.spec = spec or ResourceSpec()
+        self.virtual_network = virtual_network
+        self.rendezvous: list[RendezvousServer] = []
+        self.hosts: dict[str, WavnetHost] = {}
+        self._next_vip = 1
+        self._next_pub = 1
+        for i in range(n_rendezvous):
+            rhost = make_public_host(sim, self.cloud, f"rvz{i}", f"9.1.0.{i + 1}",
+                                     network="9.1.0.0/24")
+            server = RendezvousServer(rhost, spec=self.spec)
+            if i == 0:
+                server.bootstrap()
+            self.rendezvous.append(server)
+
+    def join_rendezvous_overlay(self):
+        """Process: join all non-bootstrap rendezvous nodes into the CAN."""
+        for server in self.rendezvous[1:]:
+            yield self.sim.process(server.join_via(self.rendezvous[0]))
+
+    def _alloc_vip(self) -> IPv4Address:
+        vip = IPv4Address("10.99.0.0") + self._next_vip
+        self._next_vip += 1
+        return vip
+
+    def add_host(
+        self,
+        name: str,
+        nat_type: str = "port-restricted",
+        rendezvous_index: int = 0,
+        access_bandwidth_bps: float = 100e6,
+        access_latency: float = 0.0005,
+        udp_timeout: float = 60.0,
+        attrs: Optional[dict] = None,
+        pulse_interval: float = 5.0,
+        public: bool = False,
+        tcp_mss: int = 1460,
+        tcp_send_buf: int = 262144,
+        tcp_recv_buf: int = 262144,
+        cpu_factor: float = 1.0,
+        **driver_kwargs,
+    ) -> WavnetHost:
+        """Add one desktop host (behind its own NAT unless ``public``)."""
+        if name in self.hosts:
+            raise ValueError(f"duplicate host {name!r}")
+        rvz = self.rendezvous[rendezvous_index]
+        stack_kwargs = dict(tcp_mss=tcp_mss, tcp_send_buf=tcp_send_buf,
+                            tcp_recv_buf=tcp_recv_buf, cpu_factor=cpu_factor)
+        if public:
+            host = make_public_host(self.sim, self.cloud, name,
+                                    f"8.2.{self._next_pub // 250}.{(self._next_pub % 250) + 1}",
+                                    network="8.0.0.0/8",
+                                    access_latency=access_latency,
+                                    access_bandwidth_bps=access_bandwidth_bps,
+                                    **stack_kwargs)
+            site = None
+        else:
+            subnet_octet = 1 + (self._next_pub % 254)
+            site = make_natted_site(
+                self.sim, self.cloud, name,
+                f"8.3.{self._next_pub // 250}.{(self._next_pub % 250) + 1}",
+                nat_type=nat_type,
+                lan_subnet=f"192.168.{subnet_octet}.0/24",
+                access_bandwidth_bps=access_bandwidth_bps,
+                access_latency=access_latency,
+                udp_timeout=udp_timeout,
+                **stack_kwargs)
+            host = site.hosts[0]
+        self._next_pub += 1
+        driver = WavnetDriver(
+            host,
+            virtual_ip=self._alloc_vip(),
+            virtual_network=self.virtual_network,
+            rendezvous_ip=rvz.ip,
+            stun_server_ip=self.stun.primary_ip,
+            attrs=attrs,
+            name=name,
+            pulse_interval=pulse_interval,
+            **driver_kwargs,
+        )
+        wav_host = WavnetHost(host=host, driver=driver, site=site)
+        self.hosts[wav_host.name] = wav_host
+        return wav_host
+
+    def set_site_rtt(self, a: str, b: str, rtt: float) -> None:
+        """Pairwise RTT between two host sites over the cloud."""
+        self.cloud.set_rtt(a, b, rtt)
+
+    def start_all(self):
+        """Process: start every driver (STUN + registration), serially to
+        keep rendezvous registration deterministic."""
+        for wav_host in self.hosts.values():
+            yield self.sim.process(wav_host.driver.start())
+
+    def connect_pair(self, a: str, b: str):
+        """Process: host ``a`` discovers and punches to host ``b``."""
+        driver = self.hosts[a].driver
+        conn = yield from driver.connect_by_name(b)
+        return conn
+
+    def connect_full_mesh(self, names: Optional[list[str]] = None):
+        """Process: pairwise connections among ``names`` (default: all)."""
+        names = names or list(self.hosts)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                yield self.sim.process(self.connect_pair(a, b))

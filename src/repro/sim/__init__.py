@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulation kernel.
+
+A small, self-contained SimPy-style engine: a binary-heap event calendar,
+generator-based processes, timeouts, interruptible waits, and FIFO stores.
+Every other subsystem in this repository (network links, NAT boxes, TCP,
+the CAN overlay, VM migration, workload generators) is expressed as
+processes scheduled by :class:`Simulator`.
+
+The engine is strictly deterministic: events that fire at the same
+simulated time are delivered in schedule order (a monotonically increasing
+sequence number breaks ties), so a fixed seed reproduces a run exactly.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.monitor import Counter, IntervalRate, TimeSeries
+from repro.sim.queues import Channel, QueueFull, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "IntervalRate",
+    "Process",
+    "QueueFull",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+]

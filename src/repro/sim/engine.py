@@ -1,0 +1,409 @@
+"""Event loop, events, and generator-based processes.
+
+The design mirrors SimPy's proven semantics but is intentionally smaller:
+
+* :class:`Event` — one-shot waitable with a value or an exception.
+* :class:`Timeout` — event that fires after a fixed delay.
+* :class:`Process` — wraps a generator; each ``yield`` must produce an
+  :class:`Event` (or a :class:`Process`, which waits for termination).
+* :class:`AnyOf` / :class:`AllOf` — composite waits.
+* :class:`Interrupt` — exception thrown into a waiting process by
+  :meth:`Process.interrupt`.
+
+Processes resume in deterministic order: the calendar is keyed by
+``(time, seq)`` where ``seq`` increases monotonically with every schedule
+operation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (not for model errors)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    ``cause`` carries an arbitrary payload supplied by the interrupter
+    (e.g. the reason a migration was aborted).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the calendar, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* with either a value (:meth:`succeed`) or an
+    exception (:meth:`fail`); its callbacks then run at the current
+    simulation time. Triggering twice is an error — events are one-shot.
+    """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_exc", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._state = _PENDING
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        # A failed event whose exception was delivered to (or absorbed by)
+        # some waiter is "defused"; undefused failures crash the run so
+        # model bugs cannot silently vanish.
+        self._defused = False
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception (callbacks may be pending)."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._state = _TRIGGERED
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._state = _TRIGGERED
+        self._exc = exc
+        self.sim._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- internal -----------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = _PROCESSED
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+        if self._exc is not None and not self._defused:
+            raise self._exc
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Run ``cb(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (same semantics SimPy users rely on).
+        """
+        if self.callbacks is None:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._state = _TRIGGERED
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._n_done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            if ev._exc is not None:
+                ev.defuse()
+            return
+        if ev._exc is not None:
+            ev.defuse()
+            self.fail(ev._exc)
+            return
+        self._n_done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.processed and ev._exc is None}
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event succeeds (or any fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= 1
+
+
+class AllOf(_Condition):
+    """Fires when every child event has succeeded (or any fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done == len(self.events)
+
+
+class Process(Event):
+    """A running generator; also an event that fires on termination.
+
+    The wrapped generator yields :class:`Event` instances. When a yielded
+    event succeeds, its value is sent back into the generator; when it
+    fails, the exception is thrown in. ``yield`` on another
+    :class:`Process` waits for that process to terminate.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not isinstance(generator, Generator):
+            raise SimulationError(
+                f"Process needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume once at the current time.
+        boot = Event(sim)
+        self._waiting_on = boot
+        boot.add_callback(self._resume)
+        boot.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is not waiting (i.e. scheduled to resume right now) is
+        delivered before its next resume.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        target = self._waiting_on
+        if target is not None:
+            self._waiting_on = None
+        kick = Event(self.sim)
+        kick.add_callback(lambda _ev: self._throw_interrupt(cause, target))
+        kick.succeed(None)
+
+    def _throw_interrupt(self, cause: Any, stale: Event | None) -> None:
+        if not self.is_alive:
+            return  # died between interrupt() and delivery
+        self._step(lambda: self.generator.throw(Interrupt(cause)), stale_wait=stale)
+
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up (we were interrupted away from this event)
+        self._waiting_on = None
+        if event._exc is not None:
+            event.defuse()
+            exc = event._exc
+            self._step(lambda: self.generator.throw(exc))
+        else:
+            value = event._value
+            self._step(lambda: self.generator.send(value))
+
+    def _step(self, advance: Callable[[], Any], stale_wait: Event | None = None) -> None:
+        sim = self.sim
+        prev = sim._active_process
+        sim._active_process = self
+        try:
+            target = advance()
+        except StopIteration as stop:
+            sim._active_process = prev
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # Generator re-raised the interrupt without handling it:
+            # treat as process failure.
+            sim._active_process = prev
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            sim._active_process = prev
+            self.fail(exc)
+            return
+        sim._active_process = prev
+        if target is self:
+            raise SimulationError(f"process {self.name!r} cannot wait on itself")
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; yield Event/Process only"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator(seed=7)
+
+        def hello(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(hello(sim))
+        sim.run()
+        assert sim.now == 1.0 and proc.value == "done"
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self._calendar: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+        from repro.sim.rng import RngRegistry
+
+        self.rng = RngRegistry(seed)
+
+    # -- factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str | None = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self.now})")
+        ev = Timeout(self, when - self.now)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` time units."""
+        ev = Timeout(self, delay)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    # -- scheduling ---------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._calendar, (self.now + delay, self._seq, event))
+
+    # -- execution ----------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the calendar is empty."""
+        return self._calendar[0][0] if self._calendar else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._calendar:
+            raise SimulationError("step() on an empty calendar")
+        when, _seq, event = heapq.heappop(self._calendar)
+        self.now = when
+        event._run_callbacks()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the calendar drains, ``until`` time passes, or an
+        ``until`` event triggers (its value is returned)."""
+        if isinstance(until, Event):
+            stop = until
+            while not stop.triggered:
+                if not self._calendar:
+                    raise SimulationError(
+                        "run(until=event): calendar drained before event triggered"
+                    )
+                self.step()
+            return stop._value if stop._exc is None else None
+        horizon = float("inf") if until is None else float(until)
+        if horizon < self.now:
+            raise SimulationError(f"run(until={horizon}) is in the past (now={self.now})")
+        while self._calendar and self._calendar[0][0] <= horizon:
+            self.step()
+        if horizon != float("inf"):
+            self.now = horizon
+        return None

@@ -1,0 +1,119 @@
+"""FIFO stores and rendezvous channels for inter-process communication.
+
+:class:`Store` is the workhorse: an optionally capacity-bounded FIFO whose
+``get()``/``put()`` return events a process can ``yield`` on. Network
+sockets, NIC transmit queues, and application inboxes are all Stores.
+
+:class:`Channel` adds a non-blocking drop-on-full put — the semantics of a
+drop-tail router queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["Channel", "QueueFull", "Store"]
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`Store.put_nowait` when a bounded store is full."""
+
+
+class Store:
+    """FIFO of items with blocking get/put via events.
+
+    ``capacity=None`` means unbounded. Waiters are served strictly FIFO.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    # -- blocking interface --------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` is enqueued (immediately unless full)."""
+        ev = Event(self.sim)
+        if not self.is_full:
+            self._deliver(item)
+            ev.succeed(item)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        ev = Event(self.sim)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    # -- non-blocking interface ------------------------------------------
+    def put_nowait(self, item: Any) -> None:
+        """Enqueue or raise :class:`QueueFull`."""
+        if self.is_full:
+            raise QueueFull()
+        self._deliver(item)
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue and return True, or return False when full (drop-tail)."""
+        if self.is_full:
+            return False
+        self._deliver(item)
+        return True
+
+    def get_nowait(self) -> Any:
+        """Dequeue or raise :class:`SimulationError` when empty."""
+        if not self.items:
+            raise SimulationError("get_nowait on empty store")
+        item = self.items.popleft()
+        self._admit_putter()
+        return item
+
+    # -- internals -------------------------------------------------------
+    def _deliver(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            ev, item = self._putters.popleft()
+            self._deliver(item)
+            ev.succeed(item)
+
+
+class Channel(Store):
+    """Bounded FIFO with drop-tail put — a router queue.
+
+    :meth:`offer` is the datapath entry point; it never blocks and reports
+    drops via its return value so callers can count them.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int) -> None:
+        super().__init__(sim, capacity=capacity)
+        self.drops = 0
+
+    def offer(self, item: Any) -> bool:
+        if self.try_put(item):
+            return True
+        self.drops += 1
+        return False

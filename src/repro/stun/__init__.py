@@ -1,0 +1,13 @@
+"""STUN (RFC 3489) — NAT discovery for the WAVNet connection layer.
+
+The paper (§II.B) uses STUN to (a) learn a host's public ``{NAT IP, NAT
+port}`` 2-tuple and (b) classify the NAT so the driver knows whether UDP
+hole punching will work. The classic algorithm needs a server with two
+public addresses, modeled here as a pair of co-ordinated hosts.
+"""
+
+from repro.stun.client import StunClient, StunProbeResult
+from repro.stun.messages import StunRequest, StunResponse
+from repro.stun.server import StunServerPair
+
+__all__ = ["StunClient", "StunProbeResult", "StunRequest", "StunResponse", "StunServerPair"]

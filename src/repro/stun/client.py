@@ -1,0 +1,136 @@
+"""STUN client: public-endpoint discovery and NAT classification.
+
+Implements the RFC 3489 decision tree the paper relies on:
+
+* **Test I** — plain binding request; learns the mapped (public) endpoint.
+* **Test II** — request with change-IP+change-port; a reply means nothing
+  filters inbound from unknown endpoints (OPEN or Full Cone).
+* **Test I'** — plain request to the *alternate* server address; a
+  different mapped port means per-destination mapping (Symmetric).
+* **Test III** — request with change-port only; distinguishes Restricted
+  Cone (reply arrives) from Port Restricted Cone (it does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.nat.types import NatType
+from repro.net.addresses import IPv4Address
+from repro.net.packet import Payload
+from repro.net.udp import UdpSocket
+from repro.stun.messages import STUN_PORT, StunRequest, StunResponse
+
+__all__ = ["StunClient", "StunProbeResult"]
+
+
+@dataclass
+class StunProbeResult:
+    """Outcome of a full classification run."""
+
+    nat_type: NatType
+    mapped_ip: Optional[IPv4Address]
+    mapped_port: Optional[int]
+    blocked: bool = False
+
+    @property
+    def public_endpoint(self) -> tuple[IPv4Address, int]:
+        if self.mapped_ip is None:
+            raise RuntimeError("no mapped endpoint (UDP blocked?)")
+        return (self.mapped_ip, self.mapped_port)
+
+
+class StunClient:
+    """Runs STUN tests from one host through one UDP socket.
+
+    The socket used for probing is the same one later used for hole
+    punching, so the discovered mapping is the one that matters.
+    """
+
+    def __init__(self, stack, sock: UdpSocket, server_ip: IPv4Address | str,
+                 server_port: int = STUN_PORT, timeout: float = 0.8, retries: int = 2,
+                 inbox=None) -> None:
+        """``inbox`` (a Store of ``(payload, ip, port)``) lets an owner
+        that already demultiplexes the socket (the WAVNet driver) feed
+        STUN responses in, instead of this client reading the socket —
+        two readers on one socket steal each other's datagrams."""
+        self.stack = stack
+        self.sock = sock
+        self.server_ip = IPv4Address(server_ip)
+        self.server_port = server_port
+        self.timeout = timeout
+        self.retries = retries
+        self.inbox = inbox
+        self._txid = int(id(self)) & 0xFFFF
+        self._pending_get = None
+
+    def _recv(self):
+        if self.inbox is not None:
+            return self.inbox.get()
+        return self.sock.recvfrom()
+
+    def _next_txid(self) -> int:
+        self._txid += 1
+        return self._txid
+
+    def _request(self, dst_ip: IPv4Address, dst_port: int,
+                 change_ip: bool = False, change_port: bool = False):
+        """Process: one test (with retries); returns StunResponse or None."""
+        sim = self.stack.sim
+        for _attempt in range(self.retries):
+            txid = self._next_txid()
+            req = StunRequest(txid, change_ip=change_ip, change_port=change_port)
+            self.sock.sendto(dst_ip, dst_port, Payload(req.size, data=req, kind="stun"))
+            deadline = sim.timeout(self.timeout)
+            while True:
+                if self._pending_get is None:
+                    self._pending_get = self._recv()
+                yield sim.any_of([self._pending_get, deadline])
+                if not self._pending_get.processed:
+                    break  # timed out; keep the getter armed for the retry
+                payload, _ip, _port = self._pending_get.value
+                self._pending_get = None
+                msg = payload.data
+                if isinstance(msg, StunResponse) and msg.txid == txid:
+                    return msg
+        return None
+
+    def discover_endpoint(self):
+        """Process: Test I only; returns (mapped_ip, mapped_port) or None."""
+        response = yield from self._request(self.server_ip, self.server_port)
+        if response is None:
+            return None
+        return (response.mapped_ip, response.mapped_port)
+
+    def classify(self):
+        """Process: full RFC 3489 classification; returns StunProbeResult."""
+        test1 = yield from self._request(self.server_ip, self.server_port)
+        if test1 is None:
+            return StunProbeResult(NatType.SYMMETRIC, None, None, blocked=True)
+        mapped = (test1.mapped_ip, test1.mapped_port)
+        local_ips = self.stack.ips
+
+        test2 = yield from self._request(self.server_ip, self.server_port,
+                                         change_ip=True, change_port=True)
+        if test1.mapped_ip in local_ips:
+            # Not NATed at all; Test II separates OPEN from a symmetric
+            # UDP firewall (we fold the latter into OPEN for the paper's
+            # purposes: both accept hole-punched traffic after outbound).
+            return StunProbeResult(NatType.OPEN, *mapped)
+        if test2 is not None:
+            return StunProbeResult(NatType.FULL_CONE, *mapped)
+
+        # Test I against the alternate address: does the mapping move?
+        test1b = yield from self._request(test1.changed_ip, test1.changed_port)
+        if test1b is None:
+            # Alternate server unreachable: fall back conservatively.
+            return StunProbeResult(NatType.SYMMETRIC, *mapped)
+        if (test1b.mapped_ip, test1b.mapped_port) != mapped:
+            return StunProbeResult(NatType.SYMMETRIC, *mapped)
+
+        test3 = yield from self._request(self.server_ip, self.server_port,
+                                         change_port=True)
+        if test3 is not None:
+            return StunProbeResult(NatType.RESTRICTED_CONE, *mapped)
+        return StunProbeResult(NatType.PORT_RESTRICTED, *mapped)

@@ -1,0 +1,48 @@
+"""STUN wire messages (binding request/response with change flags)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addresses import IPv4Address
+
+__all__ = ["STUN_PORT", "STUN_ALT_PORT", "StunRequest", "StunResponse"]
+
+STUN_PORT = 3478
+STUN_ALT_PORT = 3479
+
+# Typical binding request/response sizes on the wire (header + attrs).
+REQUEST_SIZE = 28
+RESPONSE_SIZE = 68
+
+
+@dataclass(frozen=True)
+class StunRequest:
+    """Binding request. ``change_ip``/``change_port`` ask the server to
+    answer from its alternate address and/or port (RFC 3489 CHANGE-REQUEST)."""
+
+    txid: int
+    change_ip: bool = False
+    change_port: bool = False
+
+    @property
+    def size(self) -> int:
+        return REQUEST_SIZE
+
+
+@dataclass(frozen=True)
+class StunResponse:
+    """Binding response: MAPPED-ADDRESS plus the server's own addresses
+    (SOURCE-ADDRESS / CHANGED-ADDRESS)."""
+
+    txid: int
+    mapped_ip: IPv4Address
+    mapped_port: int
+    source_ip: IPv4Address
+    source_port: int
+    changed_ip: IPv4Address
+    changed_port: int
+
+    @property
+    def size(self) -> int:
+        return RESPONSE_SIZE

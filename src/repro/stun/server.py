@@ -1,0 +1,82 @@
+"""STUN server pair: one logical server on two public addresses.
+
+RFC 3489 classification needs responses from four distinct endpoints
+(two IPs x two ports). We model this as two coordinated public hosts —
+the *primary* and the *alternate* — each binding the standard and the
+alternate STUN ports. A CHANGE-REQUEST is honoured by relaying the reply
+duty to the other host / other socket.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import IPv4Address, IPv4Network
+from repro.net.l2 import Link
+from repro.net.packet import Payload
+from repro.net.stack import Host
+from repro.net.wan import WanCloud
+from repro.scenarios.builder import named_mac_factory
+from repro.sim.engine import Simulator
+from repro.stun.messages import STUN_ALT_PORT, STUN_PORT, StunRequest, StunResponse
+
+__all__ = ["StunServerPair"]
+
+
+class StunServerPair:
+    """Two public hosts answering STUN binding requests."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cloud: WanCloud,
+        primary_ip: str = "9.9.9.1",
+        alternate_ip: str = "9.9.9.2",
+        public_network: str = "9.9.9.0/24",
+        attach_latency: float = 0.001,
+        name: str = "stun",
+    ) -> None:
+        self.sim = sim
+        self.primary_ip = IPv4Address(primary_ip)
+        self.alternate_ip = IPv4Address(alternate_ip)
+        net = IPv4Network(public_network)
+        self.hosts: dict[IPv4Address, Host] = {}
+        self.requests_served = 0
+        for tag, ip in (("primary", self.primary_ip), ("alt", self.alternate_ip)):
+            host = Host(sim, f"{name}.{tag}", named_mac_factory(f"{name}.{tag}"))
+            iface = host.add_nic().configure(ip, net)
+            host.stack.connected_route_for(iface)
+            host.stack.add_route("0.0.0.0/0", iface)
+            Link(sim, iface.port, cloud.attach(f"{name}.{tag}"),
+                 latency=attach_latency, bandwidth_bps=1e9, name=f"{name}.{tag}.access")
+            self.hosts[ip] = host
+            for port in (STUN_PORT, STUN_ALT_PORT):
+                sock = host.udp.bind(port)
+                sim.process(self._serve(host, ip, port, sock),
+                            name=f"stun:{tag}:{port}")
+
+    def _other_ip(self, ip: IPv4Address) -> IPv4Address:
+        return self.alternate_ip if ip == self.primary_ip else self.primary_ip
+
+    def _other_port(self, port: int) -> int:
+        return STUN_ALT_PORT if port == STUN_PORT else STUN_PORT
+
+    def _serve(self, host: Host, ip: IPv4Address, port: int, sock):
+        while True:
+            payload, src_ip, src_port = yield sock.recvfrom()
+            request = payload.data
+            if not isinstance(request, StunRequest):
+                continue
+            self.requests_served += 1
+            reply_ip = self._other_ip(ip) if request.change_ip else ip
+            reply_port = self._other_port(port) if request.change_port else port
+            response = StunResponse(
+                txid=request.txid,
+                mapped_ip=src_ip,
+                mapped_port=src_port,
+                source_ip=reply_ip,
+                source_port=reply_port,
+                changed_ip=self._other_ip(ip),
+                changed_port=self._other_port(port),
+            )
+            reply_host = self.hosts[reply_ip]
+            reply_sock = reply_host.udp.sockets[reply_port]
+            reply_sock.sendto(src_ip, src_port, Payload(response.size, data=response, kind="stun"))

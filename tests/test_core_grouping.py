@@ -1,0 +1,176 @@
+"""Tests for the distance locator matrix and grouping algorithms (§II.D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    brute_force_group,
+    greedy_group,
+    locality_sensitive_group,
+    random_group,
+)
+from repro.core.latency import LatencyMatrix
+
+
+def clustered_matrix(n_clusters=3, per_cluster=6, intra=0.002, inter=0.150, seed=0):
+    """Synthetic geo-clustered RTT matrix."""
+    rng = np.random.default_rng(seed)
+    n = n_clusters * per_cluster
+    m = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            base = intra if i // per_cluster == j // per_cluster else inter
+            rtt = base * rng.uniform(0.8, 1.2)
+            m[i, j] = m[j, i] = rtt
+    return LatencyMatrix.from_array([f"h{i}" for i in range(n)], m)
+
+
+class TestLatencyMatrix:
+    def test_update_is_symmetric(self):
+        lm = LatencyMatrix(["a", "b", "c"])
+        lm.update("a", "b", 0.05)
+        assert lm.rtt("b", "a") == 0.05
+
+    def test_negative_rtt_rejected(self):
+        lm = LatencyMatrix(["a", "b"])
+        with pytest.raises(ValueError):
+            lm.update("a", "b", -1)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyMatrix(["a", "a"])
+
+    def test_from_array_requires_symmetry(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError):
+            LatencyMatrix.from_array(["a", "b"], m)
+
+    def test_sorted_rows_order(self):
+        lm = LatencyMatrix(["a", "b", "c"])
+        lm.update("a", "b", 0.5)
+        lm.update("a", "c", 0.1)
+        lm.update("b", "c", 0.2)
+        row = list(lm.sorted_rows()[0])
+        assert row == [0, 2, 1]  # self, then c (0.1), then b (0.5)
+
+    def test_sorted_rows_cache_invalidation(self):
+        lm = LatencyMatrix(["a", "b", "c"])
+        lm.update("a", "b", 0.5)
+        lm.update("a", "c", 0.1)
+        lm.update("b", "c", 0.2)
+        _ = lm.sorted_rows()
+        lm.update("a", "b", 0.01)
+        assert list(lm.sorted_rows()[0]) == [0, 1, 2]
+
+    def test_coverage_and_complete(self):
+        lm = LatencyMatrix(["a", "b", "c"])
+        assert not lm.complete()
+        assert lm.coverage() == 0.0
+        lm.update("a", "b", 0.1)
+        assert lm.coverage() == pytest.approx(2 / 6)
+        lm.update("a", "c", 0.1)
+        lm.update("b", "c", 0.1)
+        assert lm.complete()
+
+    def test_group_average_matches_formula(self):
+        lm = LatencyMatrix(["a", "b", "c"])
+        lm.update("a", "b", 0.1)
+        lm.update("a", "c", 0.2)
+        lm.update("b", "c", 0.3)
+        # Formula (1): sum over unordered pairs / C(3,2) = 0.6/3
+        assert lm.group_average([0, 1, 2]) == pytest.approx(0.2)
+        assert lm.group_max([0, 1, 2]) == pytest.approx(0.3)
+
+
+class TestGroupingAlgorithms:
+    def test_locality_sensitive_finds_a_cluster(self):
+        lm = clustered_matrix()
+        result = locality_sensitive_group(lm, 6)
+        # The chosen 6 hosts should all be in one cluster (avg ~2 ms).
+        assert result.average_latency < 0.01
+        clusters = {i // 6 for i in result.members}
+        assert len(clusters) == 1
+
+    def test_matches_brute_force_on_small_instances(self):
+        for seed in range(5):
+            lm = clustered_matrix(n_clusters=2, per_cluster=4, seed=seed)
+            approx = locality_sensitive_group(lm, 3)
+            exact = brute_force_group(lm, 3)
+            assert approx.average_latency <= exact.average_latency * 1.25
+
+    def test_beats_random_selection(self):
+        lm = clustered_matrix(n_clusters=4, per_cluster=8, seed=3)
+        rng = np.random.default_rng(0)
+        ls = locality_sensitive_group(lm, 8)
+        rand_avgs = [random_group(lm, 8, rng).average_latency for _ in range(20)]
+        assert ls.average_latency < min(rand_avgs)
+
+    def test_greedy_reasonable(self):
+        lm = clustered_matrix(seed=7)
+        g = greedy_group(lm, 6)
+        assert g.average_latency < 0.01
+
+    def test_max_latency_filter(self):
+        lm = clustered_matrix(seed=1)
+        unfiltered = locality_sensitive_group(lm, 6)
+        filtered = locality_sensitive_group(lm, 6, max_latency=0.01)
+        assert filtered.max_latency <= 0.01
+        assert filtered.average_latency >= unfiltered.average_latency - 1e-12
+
+    def test_infeasible_filter_raises(self):
+        lm = clustered_matrix(seed=1)
+        with pytest.raises(ValueError):
+            locality_sensitive_group(lm, 6, max_latency=1e-9)
+
+    def test_k_bounds_checked(self):
+        lm = clustered_matrix()
+        with pytest.raises(ValueError):
+            locality_sensitive_group(lm, 1)
+        with pytest.raises(ValueError):
+            locality_sensitive_group(lm, len(lm) + 1)
+
+    def test_candidates_linear_in_n_times_k(self):
+        """The O(N·k) complexity claim: candidate count <= N·(k+1)."""
+        lm = clustered_matrix(n_clusters=5, per_cluster=8, seed=2)
+        k = 6
+        result = locality_sensitive_group(lm, k)
+        assert result.candidates_examined <= len(lm) * (k + 1)
+
+    def test_k_equals_n(self):
+        lm = clustered_matrix(n_clusters=1, per_cluster=5)
+        result = locality_sensitive_group(lm, 5)
+        assert len(result.members) == 5
+
+    def test_result_names(self):
+        lm = clustered_matrix(n_clusters=2, per_cluster=3)
+        result = locality_sensitive_group(lm, 3)
+        names = result.names(lm)
+        assert len(names) == 3 and all(n.startswith("h") for n in names)
+
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_ls_never_worse_than_random_median(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = 16
+        sym = rng.uniform(0.001, 0.3, size=(n, n))
+        m = (sym + sym.T) / 2
+        np.fill_diagonal(m, 0.0)
+        lm = LatencyMatrix.from_array([f"h{i}" for i in range(n)], m)
+        ls = locality_sensitive_group(lm, k)
+        rand = sorted(random_group(lm, k, rng).average_latency for _ in range(9))
+        assert ls.average_latency <= rand[4] + 1e-12  # beats the median
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_group_average_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 10
+        sym = rng.uniform(0.001, 0.3, size=(n, n))
+        m = (sym + sym.T) / 2
+        np.fill_diagonal(m, 0.0)
+        lm = LatencyMatrix.from_array([f"h{i}" for i in range(n)], m)
+        result = locality_sensitive_group(lm, 4)
+        off = m[~np.eye(n, dtype=bool)]
+        assert off.min() - 1e-12 <= result.average_latency <= result.max_latency + 1e-12

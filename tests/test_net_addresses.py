@@ -1,0 +1,92 @@
+"""Tests for MAC/IPv4 addressing and CIDR networks."""
+
+import pytest
+
+from repro.net.addresses import BROADCAST_MAC, IPv4Address, IPv4Network, MacAddress, mac_factory
+
+
+class TestMacAddress:
+    def test_parse_and_format_roundtrip(self):
+        mac = MacAddress("02:00:00:00:00:2a")
+        assert mac.value == 0x02_00_00_00_00_2A
+        assert str(mac) == "02:00:00:00:00:2a"
+
+    def test_equality_and_hash(self):
+        assert MacAddress(5) == MacAddress(5)
+        assert MacAddress(5) != MacAddress(6)
+        assert len({MacAddress(5), MacAddress(5)}) == 1
+
+    def test_broadcast(self):
+        assert BROADCAST_MAC.is_broadcast
+        assert not MacAddress(1).is_broadcast
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            MacAddress("1:2:3")
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+
+    def test_copy_constructor(self):
+        a = MacAddress(7)
+        assert MacAddress(a) == a
+
+    def test_factory_sequential_and_stable(self):
+        mint = mac_factory()
+        m1, m2 = mint(), mint()
+        assert m1 != m2
+        mint2 = mac_factory()
+        assert mint2() == m1
+
+
+class TestIPv4Address:
+    def test_parse_and_format(self):
+        ip = IPv4Address("10.1.2.3")
+        assert ip.value == (10 << 24) | (1 << 16) | (2 << 8) | 3
+        assert str(ip) == "10.1.2.3"
+
+    def test_ordering_and_add(self):
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+        assert IPv4Address("10.0.0.1") + 4 == IPv4Address("10.0.0.5")
+
+    def test_broadcast_flag(self):
+        assert IPv4Address("255.255.255.255").is_broadcast
+
+    def test_bad_inputs(self):
+        for bad in ("10.0.0", "10.0.0.256", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                IPv4Address(bad)
+
+
+class TestIPv4Network:
+    def test_contains(self):
+        net = IPv4Network("192.168.1.0/24")
+        assert IPv4Address("192.168.1.55") in net
+        assert IPv4Address("192.168.2.1") not in net
+
+    def test_normalizes_host_bits(self):
+        net = IPv4Network("192.168.1.77/24")
+        assert str(net.network) == "192.168.1.0"
+
+    def test_broadcast_and_host(self):
+        net = IPv4Network("10.0.0.0/30")
+        assert str(net.broadcast) == "10.0.0.3"
+        assert str(net.host(1)) == "10.0.0.1"
+        with pytest.raises(ValueError):
+            net.host(9)
+
+    def test_hosts_enumeration(self):
+        net = IPv4Network("10.0.0.0/30")
+        assert [str(h) for h in net.hosts()] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_default_route_contains_everything(self):
+        assert IPv4Address("8.8.8.8") in IPv4Network("0.0.0.0/0")
+
+    def test_bad_cidr(self):
+        with pytest.raises(ValueError):
+            IPv4Network("10.0.0.0")
+        with pytest.raises(ValueError):
+            IPv4Network("10.0.0.0/33")
+
+    def test_equality(self):
+        assert IPv4Network("10.0.0.0/8") == IPv4Network("10.1.0.0/8")
+        assert IPv4Network("10.0.0.0/8") != IPv4Network("10.0.0.0/9")

@@ -1,0 +1,224 @@
+"""Tests for ARP, routing, forwarding, ICMP ping, and UDP sockets."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv4Network, mac_factory
+from repro.net.icmp import Pinger
+from repro.net.l2 import Link
+from repro.net.packet import Payload
+from repro.net.stack import Host, Router
+from repro.scenarios.builder import host_pair, make_lan
+from repro.sim import Simulator
+
+
+class TestArpAndPing:
+    def test_ping_rtt_matches_link_latency(self):
+        sim = Simulator()
+        a, b, _link = host_pair(sim, latency=0.005, bandwidth_bps=None)
+        pinger = Pinger(a.stack, IPv4Address("10.0.0.2"), interval=0.5)
+        proc = sim.process(pinger.run(5))
+        sim.run()
+        result = proc.value
+        assert result.sent == 5 and result.lost == 0
+        # Probe 0 includes ARP resolution (as with real ping); the rest
+        # measure the pure path RTT.
+        assert result.rtts[0] > 0.010
+        for rtt in result.rtts[1:]:
+            assert rtt == pytest.approx(0.010, rel=0.01)
+
+    def test_arp_cache_populated_after_first_packet(self):
+        sim = Simulator()
+        a, b, _link = host_pair(sim, latency=0.001)
+        proc = sim.process(Pinger(a.stack, IPv4Address("10.0.0.2")).run(1))
+        sim.run()
+        assert IPv4Address("10.0.0.2") in a.stack.arp_cache
+        # B learned A from the ARP request itself.
+        assert IPv4Address("10.0.0.1") in b.stack.arp_cache
+
+    def test_first_packet_not_lost_during_arp(self):
+        sim = Simulator()
+        a, b, _link = host_pair(sim, latency=0.001)
+        proc = sim.process(Pinger(a.stack, IPv4Address("10.0.0.2")).run(1))
+        sim.run()
+        assert proc.value.lost == 0
+
+    def test_ping_unreachable_counts_loss(self):
+        sim = Simulator()
+        a, b, _link = host_pair(sim, latency=0.001)
+        pinger = Pinger(a.stack, IPv4Address("10.0.0.99"), interval=0.1, timeout=0.5)
+        proc = sim.process(pinger.run(3))
+        sim.run()
+        assert proc.value.lost == 3
+
+    def test_gratuitous_arp_updates_caches(self):
+        sim = Simulator()
+        lan = make_lan(sim, 3)
+        a, b, c = lan.hosts
+        sim.process(Pinger(a.stack, b.stack.ips[0]).run(1))
+        sim.run()
+        old_mac = a.stack.arp_cache[b.stack.ips[0]][0]
+        # Host c claims b's IP (what a migrated VM does).
+        c.stack.interfaces[0].ip = b.stack.ips[0]
+        c.stack.gratuitous_arp(c.stack.interfaces[0])
+        sim.run()
+        new_mac = a.stack.arp_cache[b.stack.ips[0]][0]
+        assert new_mac == c.stack.interfaces[0].mac
+        assert new_mac != old_mac
+
+
+class TestRouting:
+    def build_routed(self, sim):
+        """h1 -- r -- h2 across two subnets."""
+        mint = mac_factory()
+        h1 = Host(sim, "h1", mint)
+        h2 = Host(sim, "h2", mint)
+        r = Router(sim, "r", mint)
+        net1, net2 = IPv4Network("10.1.0.0/24"), IPv4Network("10.2.0.0/24")
+        i1 = h1.add_nic().configure(net1.host(2), net1)
+        i2 = h2.add_nic().configure(net2.host(2), net2)
+        r1 = r.stack.add_interface("eth0", mint()).configure(net1.host(1), net1)
+        r2 = r.stack.add_interface("eth1", mint()).configure(net2.host(1), net2)
+        for stack, iface in ((h1.stack, i1), (h2.stack, i2), (r.stack, r1), (r.stack, r2)):
+            stack.connected_route_for(iface)
+        h1.stack.add_route("0.0.0.0/0", i1, gateway=net1.host(1))
+        h2.stack.add_route("0.0.0.0/0", i2, gateway=net2.host(1))
+        Link(sim, i1.port, r1.port, latency=0.001)
+        Link(sim, i2.port, r2.port, latency=0.001)
+        return h1, h2, r
+
+    def test_forwarding_across_router(self):
+        sim = Simulator()
+        h1, h2, r = self.build_routed(sim)
+        proc = sim.process(Pinger(h1.stack, IPv4Address("10.2.0.2")).run(2))
+        sim.run()
+        assert proc.value.lost == 0
+        assert r.stack.packets_forwarded >= 4
+
+    def test_rtt_across_router_sums_hops(self):
+        sim = Simulator()
+        h1, h2, r = self.build_routed(sim)
+        proc = sim.process(Pinger(h1.stack, IPv4Address("10.2.0.2"), interval=0.1).run(2))
+        sim.run()
+        # Second probe rides warm ARP caches: 2 links x 1 ms each way.
+        assert proc.value.rtts[1] == pytest.approx(0.004, rel=0.05)
+
+    def test_host_does_not_forward(self):
+        sim = Simulator()
+        a, b, _link = host_pair(sim)
+        assert a.stack.forwarding is False
+
+    def test_longest_prefix_match(self):
+        sim = Simulator()
+        a, _b, _link = host_pair(sim)
+        iface = a.stack.interfaces[0]
+        a.stack.add_route("0.0.0.0/0", iface, gateway="10.0.0.2")
+        route = a.stack.lookup_route(IPv4Address("10.0.0.7"))
+        assert route.network.prefix_len == 24  # connected beats default
+        route = a.stack.lookup_route(IPv4Address("8.8.8.8"))
+        assert route.network.prefix_len == 0
+
+    def test_no_route_drops(self):
+        sim = Simulator()
+        mint = mac_factory()
+        h = Host(sim, "lonely", mint)
+        h.add_nic().configure("10.0.0.1", "10.0.0.0/24")
+        # no routes at all
+        from repro.net.packet import IcmpMessage, ipv4
+        h.stack.send_ip(ipv4(IPv4Address("10.0.0.1"), IPv4Address("10.9.9.9"),
+                             IcmpMessage("echo-request", 1, 1)))
+        assert h.stack.packets_dropped == 1
+
+    def test_ttl_expiry(self):
+        sim = Simulator()
+        h1, h2, r = self.build_routed(sim)
+        from repro.net.packet import IcmpMessage, ipv4
+        pkt = ipv4(IPv4Address("10.1.0.2"), IPv4Address("10.2.0.2"),
+                   IcmpMessage("echo-request", 5, 0), ttl=1)
+        h1.stack.send_ip(pkt)
+        sim.run()
+        assert h2.stack.packets_received == 0
+        assert r.stack.packets_dropped >= 1
+
+
+class TestUdpSockets:
+    def test_sendto_recvfrom(self):
+        sim = Simulator()
+        a, b, _link = host_pair(sim, latency=0.002)
+        server = b.udp.bind(5000)
+        got = []
+
+        def srv(sim):
+            payload, ip, port = yield server.recvfrom()
+            got.append((payload.data, str(ip), port))
+
+        def cli(sim):
+            sock = a.udp.bind()
+            sock.sendto(IPv4Address("10.0.0.2"), 5000, Payload(64, data="hello"))
+            yield sim.timeout(0)
+
+        sim.process(srv(sim))
+        sim.process(cli(sim))
+        sim.run()
+        assert got == [("hello", "10.0.0.1", 32768)]
+
+    def test_reply_path(self):
+        sim = Simulator()
+        a, b, _link = host_pair(sim, latency=0.002)
+        server = b.udp.bind(5000)
+        answers = []
+
+        def srv(sim):
+            payload, ip, port = yield server.recvfrom()
+            server.sendto(ip, port, Payload(32, data="pong"))
+
+        def cli(sim):
+            sock = a.udp.bind(6000)
+            sock.sendto(IPv4Address("10.0.0.2"), 5000, Payload(32, data="ping"))
+            payload, ip, port = yield sock.recvfrom()
+            answers.append((payload.data, port))
+
+        sim.process(srv(sim))
+        sim.process(cli(sim))
+        sim.run()
+        assert answers == [("pong", 5000)]
+
+    def test_double_bind_rejected(self):
+        sim = Simulator()
+        a, _b, _link = host_pair(sim)
+        a.udp.bind(7000)
+        with pytest.raises(RuntimeError):
+            a.udp.bind(7000)
+
+    def test_ephemeral_ports_unique(self):
+        sim = Simulator()
+        a, _b, _link = host_pair(sim)
+        s1, s2 = a.udp.bind(), a.udp.bind()
+        assert s1.port != s2.port
+
+    def test_unmatched_datagram_counted(self):
+        sim = Simulator()
+        a, b, _link = host_pair(sim)
+        sock = a.udp.bind()
+        sock.sendto(IPv4Address("10.0.0.2"), 9999, Payload(10))
+        sim.run()
+        assert b.udp.rx_unmatched == 1
+
+    def test_closed_socket_rejects_io(self):
+        sim = Simulator()
+        a, _b, _link = host_pair(sim)
+        sock = a.udp.bind(1234)
+        sock.close()
+        with pytest.raises(RuntimeError):
+            sock.sendto(IPv4Address("10.0.0.2"), 1, Payload(1))
+        # port is reusable after close
+        a.udp.bind(1234)
+
+    def test_inbox_overflow_drops(self):
+        sim = Simulator()
+        a, b, _link = host_pair(sim)
+        server = b.udp.bind(5000, inbox_capacity=2)
+        sock = a.udp.bind()
+        for _ in range(5):
+            sock.sendto(IPv4Address("10.0.0.2"), 5000, Payload(10))
+        sim.run()
+        assert server.drops == 3

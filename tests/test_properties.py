@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on core data structures and
+protocol invariants: TCP delivery, NAT mapping algebra, CAN geometry
+under randomized workloads, latency-matrix/grouping invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import locality_sensitive_group
+from repro.core.latency import LatencyMatrix
+from repro.nat.mapping import MappingTable
+from repro.nat.types import NatType
+from repro.net.addresses import IPv4Address
+from repro.net.tcp import drain_bytes, stream_bytes
+from repro.scenarios.builder import host_pair
+from repro.sim import Simulator
+
+SLOW = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow,
+                                       HealthCheck.data_too_large])
+
+
+class TestTcpDeliveryProperties:
+    @given(
+        total=st.integers(1, 400_000),
+        loss_pct=st.integers(0, 8),
+        latency_ms=st.integers(1, 60),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @SLOW
+    def test_exact_in_order_delivery_under_loss(self, total, loss_pct,
+                                                latency_ms, seed):
+        """Whatever the loss rate and latency, TCP delivers exactly the
+        bytes written, in order, with EOF after the last byte."""
+        sim = Simulator(seed=seed)
+        a, b, _link = host_pair(sim, latency=latency_ms / 1000,
+                                bandwidth_bps=20e6, loss=loss_pct / 100)
+        listener = b.tcp.listen(5001)
+        outcome = {}
+
+        def server(sim):
+            conn = yield listener.accept()
+            outcome["got"] = yield from drain_bytes(conn)
+
+        def client(sim):
+            conn = a.tcp.connect(IPv4Address("10.0.0.2"), 5001)
+            yield conn.wait_established()
+            yield from stream_bytes(conn, total)
+            conn.close()
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run(until=900)
+        assert outcome.get("got") == total
+
+    @given(
+        sizes=st.lists(st.integers(1, 30_000), min_size=1, max_size=12),
+        loss_pct=st.integers(0, 6),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @SLOW
+    def test_markers_arrive_once_and_in_order(self, sizes, loss_pct, seed):
+        sim = Simulator(seed=seed)
+        a, b, _link = host_pair(sim, latency=0.003, bandwidth_bps=20e6,
+                                loss=loss_pct / 100)
+        listener = b.tcp.listen(5001)
+        seen = []
+
+        def server(sim):
+            conn = yield listener.accept()
+            while True:
+                chunk = yield conn.recv()
+                if chunk is None:
+                    return
+                conn.app_read(chunk.nbytes)
+                seen.extend(chunk.objs)
+
+        def client(sim):
+            conn = a.tcp.connect(IPv4Address("10.0.0.2"), 5001)
+            yield conn.wait_established()
+            for i, size in enumerate(sizes):
+                yield conn.send(size, obj=i)
+            conn.close()
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run(until=900)
+        assert seen == list(range(len(sizes)))
+
+
+class TestNatMappingProperties:
+    flows = st.lists(
+        st.tuples(st.integers(1, 4),      # internal host index
+                  st.integers(1024, 1030),  # internal port
+                  st.integers(1, 5),      # destination index
+                  st.integers(1, 3)),     # destination port
+        min_size=1, max_size=40)
+
+    @given(flows=flows, nat=st.sampled_from(["full-cone", "restricted-cone",
+                                             "port-restricted", "symmetric"]))
+    @settings(max_examples=60, deadline=None)
+    def test_external_ports_never_collide(self, flows, nat):
+        table = MappingTable(NatType.parse(nat), timeout=60)
+        seen = {}
+        for i, (host, port, dst, dport) in enumerate(flows):
+            m = table.outbound(IPv4Address(f"192.168.1.{host}"), port,
+                               IPv4Address(f"8.0.0.{dst}"), dport, now=float(i))
+            key = m.external_port
+            owner = (m.internal_ip, m.internal_port, m.dest_key)
+            if key in seen:
+                assert seen[key] == owner, "two flows share an external port"
+            seen[key] = owner
+
+    @given(flows=flows)
+    @settings(max_examples=60, deadline=None)
+    def test_cone_mapping_stable_across_destinations(self, flows):
+        table = MappingTable(NatType.FULL_CONE, timeout=60)
+        per_endpoint = {}
+        for i, (host, port, dst, dport) in enumerate(flows):
+            m = table.outbound(IPv4Address(f"192.168.1.{host}"), port,
+                               IPv4Address(f"8.0.0.{dst}"), dport, now=float(i))
+            key = (host, port)
+            per_endpoint.setdefault(key, set()).add(m.external_port)
+        assert all(len(ports) == 1 for ports in per_endpoint.values())
+
+    @given(flows=flows)
+    @settings(max_examples=60, deadline=None)
+    def test_inbound_only_after_outbound(self, flows):
+        """Port-restricted: inbound passes iff that exact endpoint was
+        contacted from that mapping."""
+        table = MappingTable(NatType.PORT_RESTRICTED, timeout=60)
+        contacted = {}
+        for i, (host, port, dst, dport) in enumerate(flows):
+            m = table.outbound(IPv4Address(f"192.168.1.{host}"), port,
+                               IPv4Address(f"8.0.0.{dst}"), dport, now=float(i))
+            contacted.setdefault(m.external_port, set()).add((dst, dport))
+        now = float(len(flows))
+        for ext_port, pairs in contacted.items():
+            for dst, dport in pairs:
+                assert table.inbound(ext_port, IPv4Address(f"8.0.0.{dst}"),
+                                     dport, now) is not None
+            assert table.inbound(ext_port, IPv4Address("9.9.9.9"), 1, now) is None
+
+
+class TestGroupingProperties:
+    @given(seed=st.integers(0, 2**31 - 1), k=st.integers(2, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_group_members_distinct_and_in_range(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = 20
+        sym = rng.uniform(0.001, 0.5, (n, n))
+        m = (sym + sym.T) / 2
+        np.fill_diagonal(m, 0)
+        lm = LatencyMatrix.from_array([f"h{i}" for i in range(n)], m)
+        res = locality_sensitive_group(lm, k)
+        assert len(set(res.members)) == k
+        assert all(0 <= i < n for i in res.members)
+        # Reported stats must match recomputation from the matrix.
+        assert res.average_latency == pytest.approx(lm.group_average(res.members))
+        assert res.max_latency == pytest.approx(lm.group_max(res.members))
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_filter_never_improves_average(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 16
+        sym = rng.uniform(0.001, 0.5, (n, n))
+        m = (sym + sym.T) / 2
+        np.fill_diagonal(m, 0)
+        lm = LatencyMatrix.from_array([f"h{i}" for i in range(n)], m)
+        unfiltered = locality_sensitive_group(lm, 5)
+        filtered = locality_sensitive_group(lm, 5,
+                                            max_latency=unfiltered.max_latency,
+                                            fallback=True)
+        assert filtered.average_latency >= unfiltered.average_latency - 1e-12

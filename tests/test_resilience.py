@@ -1,0 +1,113 @@
+"""Resilience tests: peer death and reconnection, host re-registration,
+rendezvous unavailability, and connection re-establishment — the
+"resources may join and leave" dynamics of §II."""
+
+import pytest
+
+from repro.apps.ping import Pinger
+from repro.core.connection import ConnectionState
+from repro.scenarios.wavnet_env import WavnetEnvironment
+from repro.sim import Simulator
+
+
+def build(n=3, seed=66, **kwargs):
+    sim = Simulator(seed=seed)
+    env = WavnetEnvironment(sim)
+    for i in range(n):
+        env.add_host(f"h{i}", **kwargs)
+    sim.run(until=sim.process(env.start_all()))
+    return sim, env
+
+
+class TestReconnect:
+    def test_reconnect_after_peer_silence(self):
+        """A dead connection is detected, torn down, and a fresh connect
+        succeeds once the peer is back."""
+        sim, env = build(2)
+        sim.run(until=sim.process(env.connect_pair("h0", "h1")))
+        conn1 = env.hosts["h0"].driver.connections["h1"]
+        # h1's driver crashes: all of its processes stop and the socket
+        # closes (ordered so no process touches the dead socket).
+        h1 = env.hosts["h1"].driver
+        h1.stop()
+        h1.sock.close()
+        sim.run(until=sim.now + 90)
+        assert conn1.state is ConnectionState.DEAD
+        # h1 comes back: rebind the socket and re-register.
+        env.hosts["h1"].driver.sock = env.hosts["h1"].host.udp.bind(8777)
+        env.hosts["h1"].driver.rpc.sock = env.hosts["h1"].driver.sock
+        env.hosts["h1"].driver.tap.up = True
+        env.hosts["h1"].driver._rx_proc = sim.process(
+            env.hosts["h1"].driver._rx_loop(), name="wav-rx:h1-restarted")
+        sim.run(until=sim.process(env.hosts["h1"].driver.start()))
+        p = sim.process(env.connect_pair("h0", "h1"))
+        sim.run(until=p)
+        assert p.value.usable
+
+    def test_connections_are_independent(self):
+        """h1 dying must not disturb the h0<->h2 tunnel."""
+        sim, env = build(3)
+        sim.run(until=sim.process(env.connect_full_mesh()))
+        env.hosts["h1"].driver.stop()
+        sim.run(until=sim.now + 90)
+        ping = sim.process(Pinger(env.hosts["h0"].host.stack,
+                                  env.hosts["h2"].virtual_ip,
+                                  interval=0.3).run(3))
+        sim.run(until=ping)
+        assert ping.value.lost == 0
+
+    def test_switch_forgets_dead_peer_macs(self):
+        sim, env = build(2)
+        sim.run(until=sim.process(env.connect_pair("h0", "h1")))
+        ping = sim.process(Pinger(env.hosts["h0"].host.stack,
+                                  env.hosts["h1"].virtual_ip).run(2))
+        sim.run(until=ping)
+        sw = env.hosts["h0"].driver.switch
+        assert sw.mac_table  # learned h1's wav0
+        env.hosts["h1"].driver.stop()
+        sim.run(until=sim.now + 90)
+        assert not sw.mac_table
+
+
+class TestRegistrationLifecycle:
+    def test_host_expires_without_keepalive(self):
+        sim, env = build(1, keepalive_interval=10_000)
+        rvz = env.rendezvous[0]
+        assert "h0" in rvz.hosts
+        sim.run(until=sim.now + rvz.host_ttl + 10)
+        assert rvz.expire_hosts() == ["h0"]
+        assert "h0" not in rvz.hosts
+
+    def test_host_stays_registered_with_keepalive(self):
+        sim, env = build(1, keepalive_interval=15.0)
+        rvz = env.rendezvous[0]
+        sim.run(until=sim.now + rvz.host_ttl + 30)
+        assert rvz.expire_hosts() == []
+        assert "h0" in rvz.hosts
+
+    def test_record_refresh_keeps_resources_discoverable(self):
+        sim, env = build(2, keepalive_interval=15.0)
+        sim.run(until=sim.now + 300)  # >> record TTL (120s)
+        driver = env.hosts["h0"].driver
+
+        def query(sim):
+            return (yield from driver.query_resources(limit=8))
+
+        p = sim.process(query(sim))
+        sim.run(until=p)
+        assert any(r.host_name == "h1" for r in p.value)
+
+    def test_stale_record_vanishes_after_host_stops(self):
+        sim, env = build(2, keepalive_interval=15.0)
+        env.hosts["h1"].driver.stop()
+        if env.hosts["h1"].driver._keepalive_proc is not None:
+            pass  # stop() already interrupted it
+        sim.run(until=sim.now + 300)
+        driver = env.hosts["h0"].driver
+
+        def query(sim):
+            return (yield from driver.query_resources(limit=8))
+
+        p = sim.process(query(sim))
+        sim.run(until=p)
+        assert all(r.host_name != "h1" for r in p.value)

@@ -1,0 +1,400 @@
+"""Unit tests for the discrete-event kernel (events, processes, run loop)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert sim.now == 2.5
+    assert p.value == 2.5
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc(sim):
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def maker(tag):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            order.append(tag)
+        return proc
+
+    for tag in ("a", "b", "c"):
+        sim.process(maker(tag)(sim))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+
+    def waiter(sim):
+        val = yield ev
+        seen.append(val)
+
+    def firer(sim):
+        yield sim.timeout(3)
+        ev.succeed(42)
+
+    sim.process(waiter(sim))
+    sim.process(firer(sim))
+    sim.run()
+    assert seen == [42]
+    assert sim.now == 3
+
+
+def test_event_double_trigger_is_error():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim))
+    ev.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_event_failure_crashes_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        sim.run()
+
+
+def test_process_failure_propagates_to_joiner():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise KeyError("inner")
+
+    def joiner(sim):
+        try:
+            yield sim.process(bad(sim))
+        except KeyError:
+            return "caught"
+
+    p = sim.process(joiner(sim))
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_process_wait_on_process_gets_return_value():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(5)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return result
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "child-result"
+
+
+def test_interrupt_delivered_with_cause():
+    sim = Simulator()
+    causes = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100)
+        except Interrupt as i:
+            causes.append(i.cause)
+            return "interrupted"
+
+    def interrupter(sim, target):
+        yield sim.timeout(2)
+        target.interrupt(cause="stop-now")
+
+    p = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, p))
+    sim.run()
+    assert causes == ["stop-now"]
+    assert p.value == "interrupted"
+    assert sim.now == pytest.approx(100)  # run() drains the stale timeout
+
+
+def test_interrupted_process_does_not_wake_on_stale_event():
+    sim = Simulator()
+    trace = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(10)
+            trace.append("woke-normally")
+        except Interrupt:
+            trace.append("interrupted")
+            yield sim.timeout(50)
+            trace.append("second-sleep-done")
+
+    def interrupter(sim, target):
+        yield sim.timeout(1)
+        target.interrupt()
+
+    p = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, p))
+    sim.run()
+    assert trace == ["interrupted", "second-sleep-done"]
+    assert p.ok
+
+
+def test_interrupt_dead_process_is_error():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_unhandled_interrupt_fails_process():
+    sim = Simulator()
+
+    def sleeper(sim):
+        yield sim.timeout(100)
+
+    def interrupter(sim, target):
+        yield sim.timeout(1)
+        target.interrupt()
+
+    def joiner(sim, target):
+        try:
+            yield target
+        except Interrupt:
+            return "saw-interrupt"
+
+    p = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, p))
+    j = sim.process(joiner(sim, p))
+    sim.run()
+    assert j.value == "saw-interrupt"
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(1, value="fast")
+        t2 = sim.timeout(2, value="slow")
+        result = yield AnyOf(sim, [t1, t2])
+        return result
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert list(p.value.values()) == ["fast"]
+    # slow timeout still drains
+    assert sim.now == 2
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(1, value="a")
+        t2 = sim.timeout(4, value="b")
+        result = yield AllOf(sim, [t1, t2])
+        return sorted(result.values())
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == ["a", "b"]
+    assert sim.now == 4
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        result = yield AllOf(sim, [])
+        return result
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == {}
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(1)
+
+    sim.process(ticker(sim))
+    sim.run(until=5.5)
+    assert sim.now == 5.5
+    sim.run(until=7.25)
+    assert sim.now == 7.25
+
+
+def test_run_until_event():
+    sim = Simulator()
+    done = sim.event()
+
+    def proc(sim):
+        yield sim.timeout(3)
+        done.succeed("finished")
+
+    sim.process(proc(sim))
+    value = sim.run(until=done)
+    assert value == "finished"
+    assert sim.now == 3
+
+
+def test_run_until_event_never_fires_is_error():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.run(until=sim.event())
+
+
+def test_run_until_past_is_error():
+    sim = Simulator()
+    sim.run(until=10)
+    with pytest.raises(SimulationError):
+        sim.run(until=5)
+
+
+def test_call_at_and_call_in():
+    sim = Simulator()
+    hits = []
+    sim.call_at(4.0, lambda: hits.append(("at", sim.now)))
+    sim.call_in(1.5, lambda: hits.append(("in", sim.now)))
+    sim.run()
+    assert hits == [("in", 1.5), ("at", 4.0)]
+
+
+def test_call_at_past_is_error():
+    sim = Simulator()
+    sim.run(until=10)
+    with pytest.raises(SimulationError):
+        sim.call_at(3, lambda: None)
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yield_non_event_is_failure():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    def joiner(sim, target):
+        try:
+            yield target
+        except SimulationError:
+            return "rejected"
+
+    p = sim.process(bad(sim))
+    j = sim.process(joiner(sim, p))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_active_process_tracking():
+    sim = Simulator()
+    observed = []
+
+    def proc(sim):
+        observed.append(sim._active_process)
+        yield sim.timeout(1)
+        observed.append(sim._active_process)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert observed == [p, p]
+    assert sim._active_process is None
+
+
+def test_immediate_return_process():
+    sim = Simulator()
+
+    def noop(sim):
+        return "done"
+        yield  # pragma: no cover
+
+    p = sim.process(noop(sim))
+    sim.run()
+    assert p.value == "done"
+    assert sim.now == 0
+
+
+def test_determinism_two_identical_runs():
+    def build_and_run(seed):
+        sim = Simulator(seed=seed)
+        log = []
+
+        def worker(sim, tag):
+            rng = sim.rng.stream(f"worker.{tag}")
+            for _ in range(5):
+                yield sim.timeout(float(rng.uniform(0.1, 1.0)))
+                log.append((tag, round(sim.now, 9)))
+
+        for tag in ("x", "y", "z"):
+            sim.process(worker(sim, tag))
+        sim.run()
+        return log
+
+    assert build_and_run(42) == build_and_run(42)
+    assert build_and_run(42) != build_and_run(43)

@@ -1,0 +1,161 @@
+"""Unit tests for Store/Channel FIFO primitives."""
+
+import pytest
+
+from repro.sim import Channel, QueueFull, SimulationError, Simulator, Store
+
+
+def test_put_then_get_immediate():
+    sim = Simulator()
+    store = Store(sim)
+    results = []
+
+    def proc(sim):
+        yield store.put("a")
+        item = yield store.get()
+        results.append(item)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert results == ["a"]
+
+
+def test_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    results = []
+
+    def getter(sim):
+        item = yield store.get()
+        results.append((sim.now, item))
+
+    def putter(sim):
+        yield sim.timeout(5)
+        yield store.put("late")
+
+    sim.process(getter(sim))
+    sim.process(putter(sim))
+    sim.run()
+    assert results == [(5.0, "late")]
+
+
+def test_fifo_order_of_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(sim, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    sim.process(getter(sim, "g1"))
+    sim.process(getter(sim, "g2"))
+
+    def putter(sim):
+        yield sim.timeout(1)
+        yield store.put("first")
+        yield store.put("second")
+
+    sim.process(putter(sim))
+    sim.run()
+    assert got == [("g1", "first"), ("g2", "second")]
+
+
+def test_bounded_put_blocks_until_space():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    timeline = []
+
+    def producer(sim):
+        yield store.put(1)
+        timeline.append(("put1", sim.now))
+        yield store.put(2)
+        timeline.append(("put2", sim.now))
+
+    def consumer(sim):
+        yield sim.timeout(10)
+        item = yield store.get()
+        timeline.append(("got", item, sim.now))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert timeline[0] == ("put1", 0.0)
+    assert ("got", 1, 10.0) in timeline
+    assert ("put2", 10.0) in timeline
+
+
+def test_put_nowait_raises_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    store.put_nowait("a")
+    store.put_nowait("b")
+    with pytest.raises(QueueFull):
+        store.put_nowait("c")
+
+
+def test_try_put_drop_tail():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    assert store.try_put("a") is True
+    assert store.try_put("b") is False
+    assert len(store) == 1
+
+
+def test_get_nowait_empty_is_error():
+    sim = Simulator()
+    store = Store(sim)
+    with pytest.raises(SimulationError):
+        store.get_nowait()
+
+
+def test_get_nowait_admits_blocked_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    events = []
+
+    def producer(sim):
+        yield store.put("a")
+        ev = store.put("b")
+        yield ev
+        events.append("b-admitted")
+
+    sim.process(producer(sim))
+    sim.run()
+    assert events == []
+    assert store.get_nowait() == "a"
+    sim.run()
+    assert events == ["b-admitted"]
+    assert store.get_nowait() == "b"
+
+
+def test_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+def test_channel_counts_drops():
+    sim = Simulator()
+    ch = Channel(sim, capacity=2)
+    assert ch.offer(1) and ch.offer(2)
+    assert not ch.offer(3)
+    assert not ch.offer(4)
+    assert ch.drops == 2
+    assert len(ch) == 2
+
+
+def test_channel_offer_wakes_getter():
+    sim = Simulator()
+    ch = Channel(sim, capacity=4)
+    got = []
+
+    def getter(sim):
+        item = yield ch.get()
+        got.append(item)
+
+    sim.process(getter(sim))
+    sim.run()
+    ch.offer("pkt")
+    sim.run()
+    assert got == ["pkt"]

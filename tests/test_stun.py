@@ -1,0 +1,121 @@
+"""Tests for STUN endpoint discovery and NAT classification."""
+
+import pytest
+
+from repro.nat.types import NatType
+from repro.net.addresses import IPv4Address
+from repro.net.l2 import Link
+from repro.net.stack import Host
+from repro.net.wan import WanCloud
+from repro.scenarios.builder import make_natted_site, named_mac_factory
+from repro.sim import Simulator
+from repro.stun.client import StunClient
+from repro.stun.server import StunServerPair
+
+
+def build(sim, nat_type=None):
+    """Cloud + STUN server pair + one probing host (NATed or public)."""
+    cloud = WanCloud(sim, default_latency=0.010)
+    stun = StunServerPair(sim, cloud)
+    if nat_type is None:
+        host = Host(sim, "pub", named_mac_factory("pub"))
+        iface = host.add_nic().configure("8.0.0.50", "8.0.0.0/24")
+        host.stack.connected_route_for(iface)
+        host.stack.add_route("0.0.0.0/0", iface)
+        Link(sim, iface.port, cloud.attach("pub"), latency=0.001, bandwidth_bps=1e9)
+        site = None
+    else:
+        site = make_natted_site(sim, cloud, "site", "8.0.0.1", nat_type=nat_type)
+        host = site.hosts[0]
+    return cloud, stun, host, site
+
+
+def classify(nat_type):
+    sim = Simulator(seed=4)
+    _cloud, stun, host, _site = build(sim, nat_type)
+    sock = host.udp.bind(7100)
+    client = StunClient(host.stack, sock, "9.9.9.1", timeout=0.5)
+    proc = sim.process(client.classify())
+    sim.run(until=30)
+    return proc.value
+
+
+class TestClassification:
+    def test_open_host(self):
+        result = classify(None)
+        assert result.nat_type is NatType.OPEN
+        assert str(result.mapped_ip) == "8.0.0.50"
+        assert result.mapped_port == 7100
+
+    def test_full_cone(self):
+        assert classify("full-cone").nat_type is NatType.FULL_CONE
+
+    def test_restricted_cone(self):
+        assert classify("restricted-cone").nat_type is NatType.RESTRICTED_CONE
+
+    def test_port_restricted(self):
+        assert classify("port-restricted").nat_type is NatType.PORT_RESTRICTED
+
+    def test_symmetric(self):
+        assert classify("symmetric").nat_type is NatType.SYMMETRIC
+
+    def test_mapped_endpoint_is_public(self):
+        result = classify("port-restricted")
+        assert str(result.mapped_ip) == "8.0.0.1"
+        assert result.mapped_port != 7100  # translated
+
+
+class TestEndpointDiscovery:
+    def test_discover_endpoint_matches_nat_table(self):
+        sim = Simulator()
+        _cloud, stun, host, site = build(sim, "port-restricted")
+        sock = host.udp.bind(7200)
+        client = StunClient(host.stack, sock, "9.9.9.1")
+        proc = sim.process(client.discover_endpoint())
+        sim.run(until=10)
+        ip, port = proc.value
+        assert ip == site.public_ip
+        assert port in {m.external_port for m in site.nat.udp_mappings._by_external.values()}
+
+    def test_blocked_server_returns_none(self):
+        sim = Simulator()
+        _cloud, stun, host, _site = build(sim, "port-restricted")
+        sock = host.udp.bind(7200)
+        client = StunClient(host.stack, sock, "9.9.8.77", timeout=0.3)  # no such server
+        proc = sim.process(client.discover_endpoint())
+        sim.run(until=10)
+        assert proc.value is None
+
+    def test_blocked_classification_flags_blocked(self):
+        sim = Simulator()
+        _cloud, stun, host, _site = build(sim, "port-restricted")
+        sock = host.udp.bind(7200)
+        client = StunClient(host.stack, sock, "9.9.8.77", timeout=0.3)
+        proc = sim.process(client.classify())
+        sim.run(until=10)
+        assert proc.value.blocked
+        with pytest.raises(RuntimeError):
+            proc.value.public_endpoint
+
+    def test_probe_then_reuse_socket_for_data(self):
+        """The mapping discovered via STUN belongs to the probing socket,
+        so data sent from that socket appears from the same endpoint."""
+        sim = Simulator()
+        cloud, stun, host, site = build(sim, "full-cone")
+        sock = host.udp.bind(7300)
+        client = StunClient(host.stack, sock, "9.9.9.1")
+        proc = sim.process(client.discover_endpoint())
+        sim.run(until=10)
+        _ip, port = proc.value
+        ep = site.nat.external_endpoint_for(host.stack.ips[0], 7300,
+                                            IPv4Address("9.9.9.1"), 3478)
+        assert ep[1] == port
+
+    def test_server_counts_requests(self):
+        sim = Simulator()
+        _cloud, stun, host, _site = build(sim, "full-cone")
+        sock = host.udp.bind(7400)
+        client = StunClient(host.stack, sock, "9.9.9.1")
+        proc = sim.process(client.classify())
+        sim.run(until=30)
+        assert stun.requests_served >= 2

@@ -1,0 +1,259 @@
+"""Tests for VMs, dirty models, and pre-copy live migration — including
+the paper's headline property: seamless migration over WAVNet with
+surviving TCP sessions (§II.C / Fig 5)."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.net.icmp import Pinger
+from repro.net.l2 import Bridge, Switch, patch
+from repro.net.tcp import drain_bytes, stream_bytes
+from repro.scenarios.builder import make_lan
+from repro.scenarios.wavnet_env import WavnetEnvironment
+from repro.sim import Simulator
+from repro.vm.dirty import HotColdDirtyModel, IdleDirtyModel, UniformDirtyModel
+from repro.vm.hypervisor import Hypervisor, bridge_attach
+from repro.vm.machine import PAGE_SIZE, VirtualMachine
+from repro.vm.migration import PreCopyConfig
+
+
+class TestDirtyModels:
+    def test_uniform_saturates_at_total(self):
+        m = UniformDirtyModel(rate_pages_per_s=1e9)
+        assert m.unique_dirty_pages(10.0, 1000) == 1000
+
+    def test_uniform_zero_duration(self):
+        m = UniformDirtyModel(1000)
+        assert m.unique_dirty_pages(0.0, 1000) == 0
+
+    def test_uniform_monotonic_in_duration(self):
+        m = UniformDirtyModel(500)
+        values = [m.unique_dirty_pages(t, 100_000) for t in (0.1, 1.0, 10.0, 100.0)]
+        assert values == sorted(values)
+
+    def test_uniform_linear_regime(self):
+        # Far from saturation, unique ≈ rate * T.
+        m = UniformDirtyModel(100)
+        assert m.unique_dirty_pages(1.0, 10_000_000) == pytest.approx(100, abs=2)
+
+    def test_hotcold_hot_set_dominates_short_rounds(self):
+        m = HotColdDirtyModel(hot_fraction=0.05, hot_rate=10_000, cold_rate=0)
+        total = 65536  # 256 MB of pages
+        hot = int(total * 0.05)
+        dirtied = m.unique_dirty_pages(5.0, total)
+        assert dirtied == pytest.approx(hot, rel=0.05)
+
+    def test_hotcold_independent_of_total_for_fixed_hot_pages(self):
+        """Same WWS behaviour: more memory does not mean proportionally
+        more re-sent pages (Table V's non-proportionality)."""
+        m = HotColdDirtyModel(hot_fraction=0.05, hot_rate=5000, cold_rate=10)
+        d_small = m.unique_dirty_pages(2.0, 32768)   # 128 MB
+        d_big = m.unique_dirty_pages(2.0, 131072)    # 512 MB
+        assert d_big < 4 * d_small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformDirtyModel(-1)
+        with pytest.raises(ValueError):
+            HotColdDirtyModel(hot_fraction=1.5)
+
+
+def build_lan_with_vmms(sim, latency=0.0005, bandwidth=1e9, mss=8192):
+    """Two physical hosts on a LAN, each with a bridge + hypervisor."""
+    lan = make_lan(sim, 3, subnet="172.16.0.0/24", name="dc",
+                   link_latency=latency, link_bandwidth_bps=bandwidth,
+                   tcp_mss=mss)
+    h_src, h_dst, h_obs = lan.hosts
+    vmms = []
+    for phys in (h_src, h_dst):
+        bridge = Bridge(sim, name=f"{phys.name}.br0")
+        # Bridge uplink joins the LAN switch so VMs reach the LAN.
+        patch(bridge.new_port("uplink"), lan.switch.new_port())
+        vmms.append(Hypervisor(phys, bridge_attach(bridge)))
+    return lan, vmms[0], vmms[1], h_obs
+
+
+class TestLanMigration:
+    def test_vm_serves_traffic_from_bridge(self):
+        sim = Simulator()
+        lan, vmm_a, vmm_b, observer = build_lan_with_vmms(sim)
+        vm = vmm_a.create_vm("vm1", memory_mb=64)
+        vm.configure_network("172.16.0.100", "172.16.0.0/24")
+        proc = sim.process(Pinger(observer.stack, IPv4Address("172.16.0.100")).run(2))
+        sim.run(until=proc)
+        assert proc.value.lost == 0
+
+    def test_idle_vm_migrates_in_one_round(self):
+        sim = Simulator()
+        lan, vmm_a, vmm_b, _obs = build_lan_with_vmms(sim)
+        vm = vmm_a.create_vm("vm1", memory_mb=64, dirty_model=IdleDirtyModel())
+        vm.configure_network("172.16.0.100", "172.16.0.0/24")
+        p = sim.process(vmm_a.migrate(vm, vmm_b, IPv4Address("172.16.0.11")))
+        sim.run(until=p)
+        report = p.value
+        assert report.n_rounds == 1
+        assert report.converged
+        assert vm.current_host is vmm_b
+        assert "vm1" not in vmm_a.vms and "vm1" in vmm_b.vms
+
+    def test_migration_time_scales_with_memory(self):
+        sim = Simulator()
+        lan, vmm_a, vmm_b, _obs = build_lan_with_vmms(sim)
+        times = {}
+        for mb in (64, 128):
+            vm = vmm_a.create_vm(f"vm{mb}", memory_mb=mb, dirty_model=IdleDirtyModel())
+            vm.configure_network(f"172.16.0.{100 + mb % 90}", "172.16.0.0/24")
+            p = sim.process(vmm_a.migrate(vm, vmm_b, IPv4Address("172.16.0.11")))
+            sim.run(until=p)
+            times[mb] = p.value.total_time
+        assert times[128] == pytest.approx(2 * times[64], rel=0.25)
+
+    def test_dirty_vm_needs_multiple_rounds(self):
+        sim = Simulator()
+        lan, vmm_a, vmm_b, _obs = build_lan_with_vmms(sim, bandwidth=200e6)
+        vm = vmm_a.create_vm("busy", memory_mb=128,
+                             dirty_model=UniformDirtyModel(rate_pages_per_s=4000))
+        vm.configure_network("172.16.0.100", "172.16.0.0/24")
+        p = sim.process(vmm_a.migrate(vm, vmm_b, IPv4Address("172.16.0.11")))
+        sim.run(until=p)
+        report = p.value
+        assert report.n_rounds >= 2
+        assert report.bytes_transferred > vm.memory_bytes()
+
+    def test_downtime_much_smaller_than_total(self):
+        sim = Simulator()
+        lan, vmm_a, vmm_b, _obs = build_lan_with_vmms(sim)
+        vm = vmm_a.create_vm("vm1", memory_mb=128,
+                             dirty_model=HotColdDirtyModel(hot_fraction=0.02))
+        vm.configure_network("172.16.0.100", "172.16.0.0/24")
+        p = sim.process(vmm_a.migrate(vm, vmm_b, IPv4Address("172.16.0.11")))
+        sim.run(until=p)
+        report = p.value
+        assert report.downtime < report.total_time / 3
+        assert report.downtime >= 0.15  # at least the resume cost
+
+    def test_gratuitous_arp_redirects_lan_traffic(self):
+        sim = Simulator()
+        lan, vmm_a, vmm_b, observer = build_lan_with_vmms(sim)
+        vm = vmm_a.create_vm("vm1", memory_mb=64, dirty_model=IdleDirtyModel())
+        vm.configure_network("172.16.0.100", "172.16.0.0/24")
+        warm = sim.process(Pinger(observer.stack, IPv4Address("172.16.0.100")).run(1))
+        sim.run(until=warm)
+        p = sim.process(vmm_a.migrate(vm, vmm_b, IPv4Address("172.16.0.11")))
+        sim.run(until=p)
+        after = sim.process(Pinger(observer.stack, IPv4Address("172.16.0.100"),
+                                   interval=0.2).run(3))
+        sim.run(until=after)
+        assert after.value.lost == 0
+
+    def test_cannot_migrate_foreign_vm(self):
+        sim = Simulator()
+        lan, vmm_a, vmm_b, _obs = build_lan_with_vmms(sim)
+        vm = vmm_a.create_vm("vm1", memory_mb=64)
+
+        def bad(sim):
+            try:
+                yield from vmm_b.migrate(vm, vmm_a, IPv4Address("172.16.0.10"))
+            except RuntimeError:
+                return "rejected"
+
+        p = sim.process(bad(sim))
+        sim.run(until=p)
+        assert p.value == "rejected"
+
+
+def build_wavnet_with_vms(sim, n_hosts=2, **kwargs):
+    env = WavnetEnvironment(sim)
+    for i in range(n_hosts):
+        env.add_host(f"h{i}", tcp_mss=8192, **kwargs)
+    started = sim.process(env.start_all())
+    sim.run(until=started)
+    mesh = sim.process(env.connect_full_mesh())
+    sim.run(until=mesh)
+    vmms = {}
+    for name, wh in env.hosts.items():
+        vmms[name] = Hypervisor(wh.host, wh.driver.attach_port)
+    return env, vmms
+
+
+class TestWanMigrationOverWavnet:
+    def test_vm_on_virtual_lan_reachable_across_wan(self):
+        sim = Simulator(seed=21)
+        env, vmms = build_wavnet_with_vms(sim)
+        vm = vmms["h0"].create_vm("webvm", memory_mb=64)
+        vm.configure_network("10.99.1.1", "10.99.0.0/16")
+        observer = env.hosts["h1"].host
+        p = sim.process(Pinger(observer.stack, IPv4Address("10.99.1.1")).run(2))
+        sim.run(until=p)
+        assert p.value.lost == 0
+
+    def test_live_migration_over_wan(self):
+        sim = Simulator(seed=22)
+        env, vmms = build_wavnet_with_vms(sim)
+        vm = vmms["h0"].create_vm("webvm", memory_mb=64, dirty_model=IdleDirtyModel())
+        vm.configure_network("10.99.1.1", "10.99.0.0/16")
+        dest_vip = env.hosts["h1"].virtual_ip
+        p = sim.process(vmms["h0"].migrate(vm, vmms["h1"], dest_vip))
+        sim.run(until=p)
+        report = p.value
+        assert vm.current_host is vmms["h1"]
+        assert report.total_time > 0
+
+    def test_tcp_session_survives_wan_migration(self):
+        """The paper's headline: an open TCP stream to the VM continues
+        across migration because the gratuitous ARP is tunneled at L2."""
+        sim = Simulator(seed=23)
+        env, vmms = build_wavnet_with_vms(sim, n_hosts=3)
+        vm = vmms["h0"].create_vm("webvm", memory_mb=48, dirty_model=IdleDirtyModel())
+        vm.configure_network("10.99.1.1", "10.99.0.0/16")
+        client = env.hosts["h2"].host
+        listener = vm.guest.tcp.listen(5001)
+        outcome = {}
+
+        def server(sim):
+            conn = yield listener.accept()
+            outcome["got"] = yield from drain_bytes(conn)
+
+        def client_proc(sim):
+            conn = client.tcp.connect(IPv4Address("10.99.1.1"), 5001)
+            yield conn.wait_established()
+            # Send half, migrate mid-stream, then the rest.
+            yield from stream_bytes(conn, 120_000)
+            mig = sim.process(vmms["h0"].migrate(vm, vmms["h1"],
+                                                 env.hosts["h1"].virtual_ip))
+            yield from stream_bytes(conn, 120_000)
+            yield mig
+            outcome["report"] = mig.value
+            yield from stream_bytes(conn, 120_000)
+            conn.close()
+
+        sim.process(server(sim))
+        sim.process(client_proc(sim))
+        sim.run(until=sim.now + 600)
+        assert outcome.get("got") == 360_000
+        assert outcome["report"].downtime < 5.0
+
+    def test_ping_loss_confined_to_downtime(self):
+        sim = Simulator(seed=24)
+        env, vmms = build_wavnet_with_vms(sim, n_hosts=3)
+        vm = vmms["h0"].create_vm("webvm", memory_mb=48, dirty_model=IdleDirtyModel())
+        vm.configure_network("10.99.1.1", "10.99.0.0/16")
+        observer = env.hosts["h2"].host
+        pinger = Pinger(observer.stack, IPv4Address("10.99.1.1"),
+                        interval=0.25, timeout=0.8)
+        ping_proc = sim.process(pinger.run(120))
+
+        def migrate_later(sim):
+            yield sim.timeout(5.0)
+            report = yield sim.process(
+                vmms["h0"].migrate(vm, vmms["h1"], env.hosts["h1"].virtual_ip))
+            return report
+
+        mig_proc = sim.process(migrate_later(sim))
+        sim.run(until=ping_proc)
+        result = ping_proc.value
+        report = mig_proc.value
+        # Loss happens, but bounded by the downtime window (plus one
+        # probe interval + timeout at each edge).
+        max_lost = report.downtime / 0.25 + 8
+        assert 0 < result.lost <= max_lost

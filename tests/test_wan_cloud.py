@@ -1,0 +1,115 @@
+"""Unit tests for the WAN latency cloud."""
+
+import pytest
+
+from repro.net.addresses import BROADCAST_MAC, IPv4Address, MacAddress
+from repro.net.l2 import Port
+from repro.net.packet import EthernetFrame, Payload, UdpDatagram, ipv4
+from repro.net.wan import WanCloud
+from repro.sim import Simulator
+
+
+class Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+        self.port = Port(self, "sink")
+
+    def on_frame(self, frame, port):
+        self.received.append((self.sim.now, frame))
+
+
+def frame(src, dst):
+    pkt = ipv4(IPv4Address("8.0.0.1"), IPv4Address("8.0.0.2"),
+               UdpDatagram(1, 2, Payload(50)))
+    return EthernetFrame(MacAddress(src), MacAddress(dst), 0x0800, pkt)
+
+
+def build(sim, names=("a", "b", "c"), default=0.010):
+    cloud = WanCloud(sim, default_latency=default)
+    sinks = {}
+    for name in names:
+        s = Sink(sim)
+        from repro.net.l2 import patch
+        patch(s.port, cloud.attach(name))
+        sinks[name] = s
+    return cloud, sinks
+
+
+class TestWanCloud:
+    def test_unknown_mac_floods_all_other_sites(self):
+        sim = Simulator()
+        cloud, sinks = build(sim)
+        sinks["a"].port.transmit(frame(1, 99))
+        sim.run()
+        assert len(sinks["b"].received) == 1
+        assert len(sinks["c"].received) == 1
+        assert sinks["a"].received == []
+
+    def test_learning_unicasts_after_first_frame(self):
+        sim = Simulator()
+        cloud, sinks = build(sim)
+        sinks["b"].port.transmit(frame(7, 99))   # cloud learns MAC 7 @ b
+        sim.run()
+        sinks["a"].port.transmit(frame(1, 7))
+        sim.run()
+        # b got only the unicast (its own flood is not echoed back).
+        assert len(sinks["b"].received) == 1
+        assert len(sinks["c"].received) == 1  # only the first flood
+
+    def test_per_pair_latency(self):
+        sim = Simulator()
+        cloud, sinks = build(sim)
+        cloud.set_rtt("a", "b", 0.100)
+        cloud.set_rtt("a", "c", 0.020)
+        sinks["a"].port.transmit(frame(1, 99))  # flood
+        sim.run()
+        assert sinks["b"].received[0][0] == pytest.approx(0.050)
+        assert sinks["c"].received[0][0] == pytest.approx(0.010)
+
+    def test_default_latency_for_unconfigured_pairs(self):
+        sim = Simulator()
+        cloud, sinks = build(sim, default=0.033)
+        sinks["a"].port.transmit(frame(1, 99))
+        sim.run()
+        assert sinks["b"].received[0][0] == pytest.approx(0.033)
+
+    def test_detach_purges_macs_and_stops_delivery(self):
+        sim = Simulator()
+        cloud, sinks = build(sim)
+        sinks["b"].port.transmit(frame(7, 99))
+        sim.run()
+        cloud.detach("b")
+        sinks["a"].port.transmit(frame(1, 7))
+        sim.run()
+        # b is gone and its MAC entry purged; the frame floods to c only.
+        assert len(sinks["b"].received) == 0
+        assert len(sinks["c"].received) == 2
+
+    def test_duplicate_attach_rejected(self):
+        sim = Simulator()
+        cloud, _sinks = build(sim)
+        with pytest.raises(ValueError):
+            cloud.attach("a")
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator()
+        cloud, _ = build(sim)
+        with pytest.raises(ValueError):
+            cloud.set_latency("a", "b", -0.1)
+
+    def test_broadcast_frame_reaches_everyone(self):
+        sim = Simulator()
+        cloud, sinks = build(sim)
+        bcast = EthernetFrame(MacAddress(1), BROADCAST_MAC, 0x0800,
+                              frame(1, 2).payload)
+        sinks["a"].port.transmit(bcast)
+        sim.run()
+        assert len(sinks["b"].received) == 1 and len(sinks["c"].received) == 1
+
+    def test_frames_counted(self):
+        sim = Simulator()
+        cloud, sinks = build(sim)
+        sinks["a"].port.transmit(frame(1, 99))
+        sim.run()
+        assert cloud.frames_carried == 1
