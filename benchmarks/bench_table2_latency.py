@@ -28,8 +28,13 @@ def ping_mean_ms(pair, n_warmup=2):
     pinger = Pinger(pair.host_a.stack, pair.ip_b, interval=0.5, timeout=5.0)
     proc = pair.sim.process(pinger.run(PROBES))
     pair.sim.run(until=proc)
-    rtts = proc.value.rtts[n_warmup:]
+    # Read RTTs back out of the metrics registry (the Pinger records each
+    # probe into ``<stack>.ping.rtt``) rather than the process result.
+    series = pair.metrics.series(f"{pair.host_a.stack.name}.ping.rtt")
+    rtts = series.values[n_warmup:].tolist()
     assert rtts, "ping produced no replies"
+    assert pair.metrics.value(f"{pair.host_a.stack.name}.ping.lost") == 0, \
+        "probes lost on an idle path"
     return sum(rtts) / len(rtts) * 1000.0
 
 

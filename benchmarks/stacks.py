@@ -35,6 +35,16 @@ class StackPair:
     ip_b: IPv4Address
     extra: dict
 
+    @property
+    def metrics(self):
+        """The pair's simulator-wide metrics registry (``repro.obs``)."""
+        return self.sim.metrics
+
+    @property
+    def trace(self):
+        """The pair's simulator-wide tracer (``repro.obs``)."""
+        return self.sim.trace
+
 
 def physical_pair(rtt: float, bandwidth_bps: float, seed: int = 0,
                   mss: int = 1460,

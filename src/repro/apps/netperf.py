@@ -63,14 +63,19 @@ def netperf_stream(host: Host, dst_ip: IPv4Address,
     t_end = sim.now + duration
     done = sim.timeout(duration)
     start_acked = conn.bytes_acked_total
+    # Interim rates also land in the registry (``<host>.netperf.rate_mbps``)
+    # so figure benchmarks can read the timeline without holding `result`.
+    rate_series = sim.metrics.series(f"{host.name}.netperf.rate_mbps")
 
     def poller(sim):
         last = conn.bytes_acked_total
         while sim.now < t_end - 1e-9:
             yield sim.timeout(interval)
             now_acked = conn.bytes_acked_total
+            rate = (now_acked - last) * 8 / 1e6 / interval
             result.times.append(sim.now)
-            result.rates_mbps.append((now_acked - last) * 8 / 1e6 / interval)
+            result.rates_mbps.append(rate)
+            rate_series.record(rate)
             last = now_acked
 
     poll_proc = sim.process(poller(sim))

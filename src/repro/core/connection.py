@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro.core.assembler import WavPulse
 from repro.net.addresses import IPv4Address
 from repro.net.packet import Payload
 from repro.overlay.resources import ConnectionInfo
@@ -61,6 +62,7 @@ class WavConnection:
         self.relayed = False  # rendezvous-relay fallback (symmetric NATs)
         self.remote: Optional[tuple[IPv4Address, int]] = None
         self.established_event: Event = Event(self.sim)
+        self.created_at = self.sim.now
         self.established_at: Optional[float] = None
         self.last_heard = self.sim.now
         self.bytes_sent = 0
@@ -70,6 +72,15 @@ class WavConnection:
         self.pulses_received = 0
         self._punch_proc = None
         self._keepalive_proc = None
+        self._punch_span = None
+        self.taps: Optional[list] = None
+
+    def add_tap(self, tap) -> None:
+        """Attach a :class:`~repro.obs.taps.PacketTap` capturing every
+        WAVNet payload this tunnel sends or receives."""
+        if self.taps is None:
+            self.taps = []
+        self.taps.append(tap)
 
     # -- properties -------------------------------------------------------
     @property
@@ -96,6 +107,9 @@ class WavConnection:
     # -- punching ----------------------------------------------------------------
     def start_punching(self) -> None:
         if self._punch_proc is None or not self._punch_proc.is_alive:
+            if self._punch_span is None:
+                self._punch_span = self.sim.trace.begin(
+                    "punch", host=self.driver.name, peer=self.peer_name)
             self._punch_proc = self.sim.process(self._punch_loop(),
                                                 name=f"punch:{self.driver.name}->{self.peer_name}")
 
@@ -105,6 +119,7 @@ class WavConnection:
         try:
             while self.state is ConnectionState.PUNCHING and self.sim.now < deadline:
                 for endpoint in self.candidates():
+                    self.driver._m_punch_tx.add()
                     self.driver._send_raw(endpoint,
                                           self.driver.assembler.punch(self.driver.name, nonce))
                 nonce += 1
@@ -116,6 +131,10 @@ class WavConnection:
 
     def _fail(self) -> None:
         self.state = ConnectionState.DEAD
+        self.driver._m_punch_failed.add()
+        if self._punch_span is not None:
+            self._punch_span.end(outcome="timeout")
+            self._punch_span = None
         if not self.established_event.triggered:
             self.established_event.fail(TimeoutError(
                 f"hole punching to {self.peer_name} failed"))
@@ -129,21 +148,34 @@ class WavConnection:
             return
         self.state = ConnectionState.ESTABLISHED
         self.established_at = self.sim.now
+        driver = self.driver
+        driver._m_established.add()
+        driver._m_punch_seconds.observe(self.sim.now - self.created_at)
+        if self.relayed:
+            driver._m_relayed.add()
+        if self._punch_span is not None:
+            self._punch_span.end(outcome="established", relayed=self.relayed)
+            self._punch_span = None
+        self.sim.trace.event("established", host=driver.name,
+                             peer=self.peer_name, relayed=self.relayed,
+                             remote=f"{remote[0]}:{remote[1]}")
         if not self.established_event.triggered:
             self.established_event.succeed(self)
         if self._punch_proc is not None and self._punch_proc.is_alive:
             self._punch_proc.interrupt("established")
         self._keepalive_proc = self.sim.process(
             self._keepalive_loop(), name=f"pulse:{self.driver.name}->{self.peer_name}")
-        self.driver._connection_established(self)
+        driver._connection_established(self)
 
     # -- inbound ---------------------------------------------------------------
     def on_punch(self, src: tuple[IPv4Address, int], nonce: int) -> None:
+        self.driver._m_punch_rx.add()
         self.driver._send_raw(src, self.driver.assembler.punch(
             self.driver.name, nonce, ack=True))
         self._establish(src)
 
     def on_punch_ack(self, src: tuple[IPv4Address, int]) -> None:
+        self.driver._m_punch_ack_rx.add()
         self._establish(src)
 
     def establish_relayed(self) -> None:
@@ -154,11 +186,23 @@ class WavConnection:
 
     def on_pulse(self, src: tuple[IPv4Address, int]) -> None:
         self.pulses_received += 1
+        self.driver._m_pulse_rx.add()
+        if self.taps is not None:
+            for tap in self.taps:
+                tap.datagram(f"{self.driver.name}->{self.peer_name}", "rx",
+                             2, src=f"{src[0]}:{src[1]}", info="WavPulse")
         self.last_heard = self.sim.now
 
     def on_data(self, size: int) -> None:
         self.frames_received += 1
         self.bytes_received += size
+        driver = self.driver
+        driver._m_frames_rx.add()
+        driver._m_bytes_rx.add(size)
+        if self.taps is not None:
+            for tap in self.taps:
+                tap.datagram(f"{driver.name}->{self.peer_name}", "rx",
+                             size, info="WavData")
         self.last_heard = self.sim.now
 
     # -- outbound -------------------------------------------------------------
@@ -167,10 +211,20 @@ class WavConnection:
             return
         self.frames_sent += 1
         self.bytes_sent += payload.size
-        if self.relayed:
-            self.driver._send_relayed(self.peer_name, payload)
+        driver = self.driver
+        if isinstance(payload.data, WavPulse):
+            driver._m_pulse_tx.add()
         else:
-            self.driver._send_raw(self.remote, payload)
+            driver._m_frames_tx.add()
+            driver._m_bytes_tx.add(payload.size)
+        if self.taps is not None:
+            for tap in self.taps:
+                tap.datagram(f"{driver.name}->{self.peer_name}", "tx",
+                             payload.size, info=type(payload.data).__name__)
+        if self.relayed:
+            driver._send_relayed(self.peer_name, payload)
+        else:
+            driver._send_raw(self.remote, payload)
 
     # -- keepalive / liveness ------------------------------------------------
     def _keepalive_loop(self):
@@ -190,9 +244,16 @@ class WavConnection:
 
     def close(self) -> None:
         self.state = ConnectionState.DEAD
+        if self._punch_span is not None:
+            self._punch_span.end(outcome="closed")
+            self._punch_span = None
         for proc in (self._punch_proc, self._keepalive_proc):
             if proc is not None and proc.is_alive:
                 proc.interrupt("closed")
+                # The interrupt may land before the process's first step
+                # (generator never entered its try block); nobody waits on
+                # these helpers, so a resulting failure must not escape.
+                proc.defuse()
         self.driver._connection_dead(self)
 
     def __repr__(self) -> str:

@@ -89,6 +89,25 @@ class WavnetDriver:
         host.stack.connected_route_for(self.wav_iface)
         patch(self.wav_iface.port, self.bridge.new_port(f"{self.name}.br0.wav0"))
 
+        # --- observability (dotted paths under "<host>.driver.*") ---
+        self.metrics = self.sim.metrics.scope(f"{self.name}.driver")
+        m = self.metrics
+        self._m_frames_tx = m.counter("frames.tx")
+        self._m_frames_rx = m.counter("frames.rx")
+        self._m_bytes_tx = m.counter("bytes.tx")
+        self._m_bytes_rx = m.counter("bytes.rx")
+        self._m_pulse_tx = m.counter("pulse.tx")
+        self._m_pulse_rx = m.counter("pulse.rx")
+        self._m_punch_tx = m.counter("punch.tx")
+        self._m_punch_rx = m.counter("punch.rx")
+        self._m_punch_ack_rx = m.counter("punch.ack_rx")
+        self._m_relay_tx = m.counter("relay.tx")
+        self._m_relay_rx = m.counter("relay.rx")
+        self._m_established = m.counter("connect.established")
+        self._m_relayed = m.counter("connect.relayed")
+        self._m_punch_failed = m.counter("connect.punch_failed")
+        self._m_punch_seconds = m.histogram("connect.punch_seconds")
+
         # --- control plane ---
         self.sock = host.udp.bind(wav_port)
         self.rpc = RpcEndpoint(host.stack, self.sock, name=f"wav:{self.name}", own_loop=False)
@@ -98,6 +117,7 @@ class WavnetDriver:
         self.nat_type: Optional[NatType] = None
         self.public_endpoint: Optional[tuple[IPv4Address, int]] = None
         self.started = Event(self.sim)
+        self.stopped = False
         from repro.sim.queues import Store
         self._stun_inbox = Store(self.sim)
         self._rx_proc = self.sim.process(self._rx_loop(), name=f"wav-rx:{self.name}")
@@ -157,7 +177,13 @@ class WavnetDriver:
 
     def stop(self) -> None:
         """Shut the driver down: close tunnels, stop keepalives and the
-        receive loop, and take the tap down (host crash / driver exit)."""
+        receive loop, and take the tap down (host crash / driver exit).
+        Safe to call more than once — the second call is a no-op."""
+        if self.stopped:
+            return
+        self.stopped = True
+        self.sim.trace.event("driver.stop", host=self.name,
+                             connections=len(self.connections))
         for conn in list(self.connections.values()):
             conn.close()
         if self._keepalive_proc is not None and self._keepalive_proc.is_alive:
@@ -250,6 +276,7 @@ class WavnetDriver:
         self.sock.sendto(endpoint[0], endpoint[1], payload)
 
     def _send_relayed(self, peer_name: str, payload: Payload) -> None:
+        self._m_relay_tx.add()
         wrapped = WavRelay(self.name, peer_name, payload.data)
         self.sock.sendto(self.rendezvous_ip, self.rendezvous_port,
                          Payload(wrapped.size, data=wrapped, kind="wav"))
@@ -285,6 +312,7 @@ class WavnetDriver:
                 if conn is not None:
                     conn.on_punch_ack(src)
             elif isinstance(body, WavRelay):
+                self._m_relay_rx.add()
                 conn = self._ensure_connection(body.sender, None)
                 if not conn.usable:
                     conn.establish_relayed()

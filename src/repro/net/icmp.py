@@ -102,9 +102,17 @@ class Pinger:
         self.result = PingResult()
 
     def run(self, count: int):
-        """Process: send ``count`` probes; returns the PingResult."""
+        """Process: send ``count`` probes; returns the PingResult.
+
+        Per-probe RTTs also land in the metrics registry under
+        ``<stack>.ping.rtt`` (series) / ``<stack>.ping.lost`` (counter)
+        so benchmarks can read measurements without holding the Pinger.
+        """
         sim = self.stack.sim
         icmp: IcmpLayer = self.stack.icmp
+        obs = sim.metrics.scope(f"{self.stack.name}.ping")
+        rtt_series = obs.series("rtt")
+        lost_counter = obs.counter("lost")
         ident = icmp.new_ident()
         inbox = icmp.listen(ident)
         # A single outstanding inbox.get() is reused across probes so that
@@ -132,10 +140,12 @@ class Pinger:
                         rtt = sim.now - msg.timestamp
                         self.result.rtts.append(rtt)
                         self.result.samples.append((send_time, rtt))
+                        rtt_series.record(rtt)
                         got_reply = True
                         break
                 if not got_reply:
                     self.result.lost += 1
+                    lost_counter.add()
                     self.result.samples.append((send_time, None))
                 remaining = self.interval - (sim.now - send_time)
                 if remaining > 0:

@@ -35,13 +35,14 @@ class FrameHandler(Protocol):  # pragma: no cover - typing helper
 class Port:
     """Device attachment point. A port is connected to at most one medium."""
 
-    __slots__ = ("owner", "name", "_medium", "up")
+    __slots__ = ("owner", "name", "_medium", "up", "_taps")
 
     def __init__(self, owner: FrameHandler, name: str = "") -> None:
         self.owner = owner
         self.name = name
         self._medium: Optional[Callable[[EthernetFrame], None]] = None
         self.up = True
+        self._taps: Optional[list] = None  # lazily created; hot path stays a None check
 
     @property
     def connected(self) -> bool:
@@ -55,14 +56,30 @@ class Port:
     def disconnect(self) -> None:
         self._medium = None
 
+    def add_tap(self, tap) -> None:
+        """Attach a :class:`~repro.obs.taps.PacketTap` to both directions."""
+        if self._taps is None:
+            self._taps = []
+        self._taps.append(tap)
+
+    def remove_tap(self, tap) -> None:
+        if self._taps is not None and tap in self._taps:
+            self._taps.remove(tap)
+
     def transmit(self, frame: EthernetFrame) -> None:
         """Push a frame out of the device into the medium (if any)."""
         if self._medium is not None and self.up:
+            if self._taps is not None:
+                for tap in self._taps:
+                    tap.frame(self.name, "tx", frame)
             self._medium(frame)
 
     def deliver(self, frame: EthernetFrame) -> None:
         """Hand an arriving frame to the owning device."""
         if self.up:
+            if self._taps is not None:
+                for tap in self._taps:
+                    tap.frame(self.name, "rx", frame)
             self.owner.on_frame(frame, self)
 
 
@@ -201,6 +218,14 @@ class Switch:
         self.mac_table: dict[MacAddress, tuple[Port, float]] = {}
         self.frames_forwarded = 0
         self.frames_flooded = 0
+        self._taps: Optional[list] = None
+
+    def add_tap(self, tap) -> None:
+        """Attach a :class:`~repro.obs.taps.PacketTap`: captures every
+        frame entering the switch, before the forwarding decision."""
+        if self._taps is None:
+            self._taps = []
+        self._taps.append(tap)
 
     def new_port(self, name: str = "") -> Port:
         port = Port(self, name or f"{self.name}.p{len(self.ports)}")
@@ -224,6 +249,9 @@ class Switch:
         return port
 
     def on_frame(self, frame: EthernetFrame, in_port: Port) -> None:
+        if self._taps is not None:
+            for tap in self._taps:
+                tap.frame(f"{self.name}<{in_port.name}", "fwd", frame)
         # Learn the sender's location (moves on migration are picked up
         # here: a gratuitous ARP from a new port rewrites the entry).
         self.mac_table[frame.src] = (in_port, self.sim.now)

@@ -36,10 +36,27 @@ class UdpSocket:
         self.inbox: Store = Store(layer.stack.sim, capacity=inbox_capacity)
         self.closed = False
         self.drops = 0
+        self._taps: Optional[list] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.layer.stack.name}:udp:{self.port}"
+
+    def add_tap(self, tap) -> None:
+        """Attach a :class:`~repro.obs.taps.PacketTap` capturing every
+        datagram sent from or delivered to this socket."""
+        if self._taps is None:
+            self._taps = []
+        self._taps.append(tap)
 
     def sendto(self, dst_ip: IPv4Address, dst_port: int, payload: Payload) -> None:
         if self.closed:
             raise RuntimeError("sendto on closed socket")
+        if self._taps is not None:
+            for tap in self._taps:
+                tap.datagram(self.name, "tx", payload.size,
+                             dst=f"{dst_ip}:{dst_port}",
+                             info=type(payload.data).__name__)
         self.layer.send(self.port, dst_ip, dst_port, payload)
 
     def recvfrom(self) -> Event:
@@ -53,6 +70,11 @@ class UdpSocket:
             self.layer._unbind(self.port)
 
     def _enqueue(self, payload: Payload, src_ip: IPv4Address, src_port: int) -> None:
+        if self._taps is not None:
+            for tap in self._taps:
+                tap.datagram(self.name, "rx", payload.size,
+                             src=f"{src_ip}:{src_port}",
+                             info=type(payload.data).__name__)
         if not self.inbox.try_put((payload, src_ip, src_port)):
             self.drops += 1
 

@@ -1,0 +1,72 @@
+"""Poor-man's process profiler for the simulation kernel.
+
+The engine calls :meth:`StepProfiler.account` once per process resume
+with the wall-clock time the generator ran; the profiler aggregates by
+process name, giving "which processes burn the host CPU" without any
+external tooling.  Process names repeat across instances (``pipe:...``,
+``wav-rx:...``) so grouping is also available by name prefix.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StepProfiler"]
+
+
+class StepProfiler:
+    """Events-dispatched and wall-time accounting per named process."""
+
+    __slots__ = ("stats",)
+
+    def __init__(self) -> None:
+        self.stats: dict[str, list] = {}  # name -> [steps, wall_seconds]
+
+    def account(self, name: str, wall: float) -> None:
+        entry = self.stats.get(name)
+        if entry is None:
+            self.stats[name] = [1, wall]
+        else:
+            entry[0] += 1
+            entry[1] += wall
+
+    # -- inspection -----------------------------------------------------
+    def steps(self, name: str) -> int:
+        entry = self.stats.get(name)
+        return entry[0] if entry else 0
+
+    def wall(self, name: str) -> float:
+        entry = self.stats.get(name)
+        return entry[1] if entry else 0.0
+
+    def total_steps(self) -> int:
+        return sum(e[0] for e in self.stats.values())
+
+    def total_wall(self) -> float:
+        return sum(e[1] for e in self.stats.values())
+
+    def by_prefix(self, sep: str = ":") -> dict[str, list]:
+        """Aggregate by name prefix (``pipe:dc.l0.ab`` -> ``pipe``)."""
+        out: dict[str, list] = {}
+        for name, (steps, wall) in self.stats.items():
+            prefix = name.split(sep, 1)[0]
+            entry = out.setdefault(prefix, [0, 0.0])
+            entry[0] += steps
+            entry[1] += wall
+        return out
+
+    def table(self, limit: int | None = None, by_prefix: bool = False) -> list[tuple]:
+        """(name, steps, wall_seconds) rows, hottest wall-time first."""
+        stats = self.by_prefix() if by_prefix else self.stats
+        rows = sorted(((n, s, w) for n, (s, w) in stats.items()),
+                      key=lambda row: row[2], reverse=True)
+        return rows[:limit] if limit is not None else rows
+
+    def render(self, limit: int = 20, by_prefix: bool = True) -> str:
+        rows = self.table(limit=limit, by_prefix=by_prefix)
+        width = max((len(r[0]) for r in rows), default=7)
+        lines = [f"{'process':<{width}}  {'steps':>10}  {'wall(s)':>10}"]
+        for name, steps, wall in rows:
+            lines.append(f"{name:<{width}}  {steps:>10}  {wall:>10.4f}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.stats.clear()

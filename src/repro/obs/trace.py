@@ -1,0 +1,132 @@
+"""Lightweight trace spans and point events over simulated time.
+
+A :class:`Tracer` accumulates a structured event log: *spans* carry a
+start and end timestamp (``trace.span("punch", peer=...)`` as a context
+manager, or :meth:`Tracer.begin` / :meth:`Span.end` when the interval
+crosses process boundaries, as hole punching does), *events* are
+instants.  Records land in the log in completion order and export to
+JSONL, one record per line::
+
+    {"kind": "span", "name": "punch", "t0": 0.43, "t1": 0.61,
+     "dur": 0.18, "attrs": {"host": "h0", "peer": "h1"}}
+    {"kind": "event", "name": "garp", "t": 14.02, "attrs": {"vm": "vm"}}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """An open interval; :meth:`end` closes it and records it."""
+
+    __slots__ = ("tracer", "name", "t0", "t1", "attrs")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.t0 = tracer.sim.now
+        self.t1: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def ended(self) -> bool:
+        return self.t1 is not None
+
+    @property
+    def duration(self) -> float:
+        return (self.t1 if self.t1 is not None else self.tracer.sim.now) - self.t0
+
+    def annotate(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, **attrs: Any) -> "Span":
+        """Close the span (idempotent) and append it to the tracer log."""
+        if self.t1 is not None:
+            return self
+        self.t1 = self.tracer.sim.now
+        self.attrs.update(attrs)
+        self.tracer._append({
+            "kind": "span", "name": self.name, "t0": self.t0, "t1": self.t1,
+            "dur": self.t1 - self.t0, "attrs": self.attrs,
+        })
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if exc is not None:
+            self.attrs.setdefault("error", repr(exc))
+        self.end()
+
+    def __repr__(self) -> str:
+        state = f"t1={self.t1}" if self.ended else "open"
+        return f"Span({self.name}, t0={self.t0}, {state})"
+
+
+class Tracer:
+    """In-sim structured event log (``sim`` needs only ``.now``)."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.records: list[dict] = []
+
+    def _append(self, record: dict) -> None:
+        self.records.append(record)
+
+    # -- recording ------------------------------------------------------
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Open a span; the caller ends it (possibly in another process)."""
+        return Span(self, name, attrs)
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Context-manager form: ``with trace.span("phase"): ...``."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> dict:
+        record = {"kind": "event", "name": name, "t": self.sim.now,
+                  "attrs": attrs}
+        self._append(record)
+        return record
+
+    # -- querying -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def find(self, name: Optional[str] = None, kind: Optional[str] = None) -> list[dict]:
+        return [r for r in self.records
+                if (name is None or r["name"] == name)
+                and (kind is None or r["kind"] == kind)]
+
+    def spans(self, name: Optional[str] = None) -> list[dict]:
+        return self.find(name, kind="span")
+
+    def events(self, name: Optional[str] = None) -> list[dict]:
+        return self.find(name, kind="event")
+
+    def names(self) -> list[str]:
+        """Distinct record names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r["name"])
+        return list(seen)
+
+    # -- export ---------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line; non-JSON attrs stringified."""
+        return "\n".join(json.dumps(r, default=str) for r in self.records)
+
+    def dump_jsonl(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        text = self.to_jsonl()
+        path.write_text(text + "\n" if text else "")
+        return path
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -104,6 +104,13 @@ class RendezvousServer:
         self.latency_reports: dict[tuple[str, str], float] = {}
         self.connects_brokered = 0
         self.frames_relayed = 0
+        self.metrics = self.sim.metrics.scope(f"{host.name}.rvz")
+        self._m_registered = self.metrics.counter("hosts.registered")
+        self._m_keepalives = self.metrics.counter("keepalives")
+        self._m_queries = self.metrics.counter("queries")
+        self._m_brokered = self.metrics.counter("connects.brokered")
+        self._m_relay_frames = self.metrics.counter("relay.frames")
+        self._m_relay_bytes = self.metrics.counter("relay.bytes")
         sock = host.udp.bind(port)
         self.rpc = RpcEndpoint(host.stack, sock, name=f"rvz:{host.name}",
                                own_loop=False)
@@ -129,6 +136,8 @@ class RendezvousServer:
                 reg = self.hosts.get(body.target)
                 if reg is not None:
                     self.frames_relayed += 1
+                    self._m_relay_frames.add()
+                    self._m_relay_bytes.add(payload.size)
                     sock.sendto(reg.reach_ip, reg.reach_port,
                                 Payload(payload.size, data=body, kind="wav"))
                 continue
@@ -147,6 +156,7 @@ class RendezvousServer:
         return ResourceRecord(reg.name, point, dict(reg.attrs), reg.conn)
 
     def _on_register(self, body: _RegisterBody, src_ip: IPv4Address, src_port: int):
+        self._m_registered.add()
         reg = RegisteredHost(body.name, src_ip, src_port, body.conn,
                              dict(body.attrs), self.sim.now)
         self.hosts[body.name] = reg
@@ -159,6 +169,7 @@ class RendezvousServer:
         return publish()
 
     def _on_keepalive(self, body, src_ip: IPv4Address, src_port: int):
+        self._m_keepalives.add()
         name, attrs = body
         reg = self.hosts.get(name)
         if reg is None:
@@ -178,6 +189,7 @@ class RendezvousServer:
     # -- resource discovery -----------------------------------------------------
     def _on_query(self, body, _src_ip, _src_port):
         """Query: (attrs dict, limit) -> records near the requested point."""
+        self._m_queries.add()
         attrs, limit = body
 
         def run():
@@ -191,6 +203,7 @@ class RendezvousServer:
     def _on_connect(self, body: _ConnectBody, _src_ip, _src_port):
         """Requester's rendezvous (node A): exchange info with node B."""
         self.connects_brokered += 1
+        self._m_brokered.add()
 
         def run():
             if (body.target_rendezvous_ip == self.ip

@@ -68,6 +68,11 @@ class RpcEndpoint:
         self._waiting: dict[int, Any] = {}  # rpc_id -> Event
         self.calls_made = 0
         self.requests_served = 0
+        metrics = stack.sim.metrics.scope(f"{name}.rpc")
+        self._m_calls = metrics.counter("calls")
+        self._m_retries = metrics.counter("retries")
+        self._m_timeouts = metrics.counter("timeouts")
+        self._m_served = metrics.counter("served")
         self._dispatcher = None
         if own_loop:
             self._dispatcher = stack.sim.process(self._dispatch_loop(), name=f"rpc:{name}")
@@ -105,6 +110,7 @@ class RpcEndpoint:
             self._reply(env, src_ip, src_port, f"no handler for {env.kind!r}", error=True)
             return True
         self.requests_served += 1
+        self._m_served.add()
         try:
             result = handler(env.body, src_ip, src_port)
         except Exception as exc:  # handler bug or modeled failure
@@ -147,12 +153,16 @@ class RpcEndpoint:
         """Process body: returns the reply body; raises RpcTimeout/RpcError."""
         sim = self.stack.sim
         last_exc: Optional[Exception] = None
-        for _attempt in range(retries):
+        for attempt in range(retries):
             rpc_id = self._alloc_id()
             env = _Envelope(rpc_id, kind, body, is_reply=False)
             waiter = sim.event()
             self._waiting[rpc_id] = waiter
             self.calls_made += 1
+            if attempt == 0:
+                self._m_calls.add()
+            else:
+                self._m_retries.add()
             self.sock.sendto(dst_ip, dst_port,
                              Payload(ENVELOPE_OVERHEAD + _body_size(body), data=env, kind="rpc"))
             deadline = sim.timeout(timeout)
@@ -164,6 +174,7 @@ class RpcEndpoint:
                 return waiter.value
             self._waiting.pop(rpc_id, None)
             last_exc = RpcTimeout(f"{kind} to {dst_ip}:{dst_port}")
+        self._m_timeouts.add()
         raise last_exc
 
     def close(self) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Callable, Generator, Iterable
+from time import perf_counter
 from typing import Any
 
 __all__ = [
@@ -287,23 +288,23 @@ class Process(Event):
         sim = self.sim
         prev = sim._active_process
         sim._active_process = self
+        wall = perf_counter()
         try:
             target = advance()
         except StopIteration as stop:
-            sim._active_process = prev
             self.succeed(stop.value)
             return
         except Interrupt as exc:
             # Generator re-raised the interrupt without handling it:
             # treat as process failure.
-            sim._active_process = prev
             self.fail(exc)
             return
         except BaseException as exc:
-            sim._active_process = prev
             self.fail(exc)
             return
-        sim._active_process = prev
+        finally:
+            sim._active_process = prev
+            sim.profile.account(self.name, perf_counter() - wall)
         if target is self:
             raise SimulationError(f"process {self.name!r} cannot wait on itself")
         if not isinstance(target, Event):
@@ -335,9 +336,15 @@ class Simulator:
         self._calendar: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Process | None = None
+        self.events_dispatched = 0
+        from repro.obs import MetricsRegistry, StepProfiler, Tracer
         from repro.sim.rng import RngRegistry
 
         self.rng = RngRegistry(seed)
+        # Observability spine: one registry/tracer/profiler per run.
+        self.metrics = MetricsRegistry(self)
+        self.trace = Tracer(self)
+        self.profile = StepProfiler()
 
     # -- factories ----------------------------------------------------
     def event(self) -> Event:
@@ -385,6 +392,7 @@ class Simulator:
             raise SimulationError("step() on an empty calendar")
         when, _seq, event = heapq.heappop(self._calendar)
         self.now = when
+        self.events_dispatched += 1
         event._run_callbacks()
 
     def run(self, until: float | Event | None = None) -> Any:
@@ -398,7 +406,12 @@ class Simulator:
                         "run(until=event): calendar drained before event triggered"
                     )
                 self.step()
-            return stop._value if stop._exc is None else None
+            if stop._exc is not None:
+                # The awaited event failed: surface the failure to the
+                # caller instead of silently returning None (its waiters,
+                # if any, already defused it).
+                raise stop._exc
+            return stop._value
         horizon = float("inf") if until is None else float(until)
         if horizon < self.now:
             raise SimulationError(f"run(until={horizon}) is in the past (now={self.now})")

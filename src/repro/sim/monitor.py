@@ -1,138 +1,16 @@
-"""Measurement probes: time series, counters, and interval rate meters.
+"""Measurement probes — compatibility shim over :mod:`repro.obs`.
 
-Benchmarks observe the simulation exclusively through these probes, which
-keeps measurement code out of the protocol implementations.
+The probe classes moved into the observability spine
+(:mod:`repro.obs.metrics`), where they are also addressable through the
+simulator's hierarchical :class:`~repro.obs.metrics.MetricsRegistry`
+(``sim.metrics``).  Existing imports keep working::
+
+    from repro.sim.monitor import Counter, IntervalRate, TimeSeries
+
+New code should prefer ``sim.metrics.counter("host.driver.pulse.tx")``
+and friends so measurements are discoverable by dotted path.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import Counter, IntervalRate, TimeSeries, record_any
 
-from typing import Any
-
-import numpy as np
-
-from repro.sim.engine import Simulator
-
-__all__ = ["Counter", "IntervalRate", "TimeSeries"]
-
-
-class TimeSeries:
-    """Append-only (time, value) log with NumPy export and resampling."""
-
-    def __init__(self, sim: Simulator, name: str = "") -> None:
-        self.sim = sim
-        self.name = name
-        self._times: list[float] = []
-        self._values: list[float] = []
-
-    def record(self, value: float) -> None:
-        self._times.append(self.sim.now)
-        self._values.append(float(value))
-
-    def __len__(self) -> int:
-        return len(self._times)
-
-    @property
-    def times(self) -> np.ndarray:
-        return np.asarray(self._times, dtype=float)
-
-    @property
-    def values(self) -> np.ndarray:
-        return np.asarray(self._values, dtype=float)
-
-    def mean(self) -> float:
-        return float(np.mean(self._values)) if self._values else float("nan")
-
-    def max(self) -> float:
-        return float(np.max(self._values)) if self._values else float("nan")
-
-    def min(self) -> float:
-        return float(np.min(self._values)) if self._values else float("nan")
-
-    def between(self, t0: float, t1: float) -> "tuple[np.ndarray, np.ndarray]":
-        """Samples with t0 <= time < t1, as (times, values) arrays."""
-        t = self.times
-        mask = (t >= t0) & (t < t1)
-        return t[mask], self.values[mask]
-
-    def resample(self, interval: float, t0: float | None = None, t1: float | None = None) -> "tuple[np.ndarray, np.ndarray]":
-        """Mean value per ``interval``-wide bucket over [t0, t1).
-
-        Buckets with no samples yield NaN so gaps (e.g. VM downtime)
-        remain visible in figure-shaped output.
-        """
-        t, v = self.times, self.values
-        if t.size == 0:
-            return np.empty(0), np.empty(0)
-        lo = t[0] if t0 is None else t0
-        hi = t[-1] + interval if t1 is None else t1
-        edges = np.arange(lo, hi + interval * 0.5, interval)
-        if edges.size < 2:
-            return np.empty(0), np.empty(0)
-        idx = np.digitize(t, edges) - 1
-        out = np.full(edges.size - 1, np.nan)
-        for b in range(edges.size - 1):
-            sel = idx == b
-            if sel.any():
-                out[b] = v[sel].mean()
-        return edges[:-1], out
-
-
-class Counter:
-    """Named monotonically increasing counter."""
-
-    def __init__(self, name: str = "") -> None:
-        self.name = name
-        self.value = 0
-
-    def add(self, n: int = 1) -> None:
-        self.value += n
-
-    def __int__(self) -> int:
-        return self.value
-
-    def __repr__(self) -> str:
-        return f"Counter({self.name}={self.value})"
-
-
-class IntervalRate:
-    """Accumulates a quantity (e.g. bytes) and reports per-interval rates.
-
-    Used for netperf-style interim result reporting: call :meth:`add` on
-    every delivery, :meth:`snapshot` from a periodic polling process.
-    """
-
-    def __init__(self, sim: Simulator, name: str = "") -> None:
-        self.sim = sim
-        self.name = name
-        self.total = 0.0
-        self._last_total = 0.0
-        self._last_time = sim.now
-        self.series = TimeSeries(sim, name=f"{name}.rate")
-
-    def add(self, amount: float) -> None:
-        self.total += amount
-
-    def snapshot(self) -> float:
-        """Rate (units/second) since the previous snapshot; records it."""
-        now = self.sim.now
-        dt = now - self._last_time
-        delta = self.total - self._last_total
-        rate = delta / dt if dt > 0 else 0.0
-        self._last_total = self.total
-        self._last_time = now
-        self.series.record(rate)
-        return rate
-
-    def overall_rate(self, since: float = 0.0) -> float:
-        dt = self.sim.now - since
-        return self.total / dt if dt > 0 else 0.0
-
-
-def record_any(sink: Any, value: float) -> None:
-    """Duck-typed helper: record into TimeSeries / add into Counter-likes."""
-    if hasattr(sink, "record"):
-        sink.record(value)
-    elif hasattr(sink, "add"):
-        sink.add(value)
-    else:  # pragma: no cover - defensive
-        raise TypeError(f"unsupported sink {type(sink).__name__}")
+__all__ = ["Counter", "IntervalRate", "TimeSeries", "record_any"]

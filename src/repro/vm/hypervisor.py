@@ -56,6 +56,7 @@ class Hypervisor:
         self.migration_port = migration_port
         self.migrations_in = 0
         self.migrations_out = 0
+        self.metrics = self.sim.metrics.scope(f"{host.name}.vmm")
         self._listener = host.tcp.listen(migration_port)
         self.sim.process(self._migration_server(), name=f"migrated:{host.name}")
 
@@ -92,12 +93,17 @@ class Hypervisor:
         config = config or PreCopyConfig()
         sim = self.sim
         report = MigrationReport(vm_name=vm.name, started_at=sim.now)
+        span = sim.trace.begin("migrate", vm=vm.name, src=self.name, dst=dest.name)
+        sim.trace.event("migrate.start", vm=vm.name, src=self.name, dst=dest.name)
         conn = self.host.tcp.connect(dest_ip, dest.migration_port)
         yield conn.wait_established()
         # Iterative pre-copy rounds while the guest keeps running.
-        remaining = yield from run_precopy(vm, conn, config, report)
+        with sim.trace.span("migrate.precopy", vm=vm.name) as precopy:
+            remaining = yield from run_precopy(vm, conn, config, report)
+            precopy.annotate(rounds=report.n_rounds, converged=report.converged)
         # Stop-and-copy: pause, move the last dirty set + CPU state.
         report.downtime_start = sim.now
+        downtime = sim.trace.begin("migrate.downtime", vm=vm.name, pages=remaining)
         vm.pause()
         final_bytes = _round_bytes(remaining) + CPU_STATE_BYTES
         from repro.net.tcp import stream_bytes
@@ -107,12 +113,20 @@ class Hypervisor:
         # Re-home the vif: source unplugs, destination adopts + resumes.
         self.detach(vm)
         self.migrations_out += 1
+        self.metrics.counter("migrations.out").add()
         yield sim.timeout(config.resume_cost)
         dest.adopt(vm)
         vm.resume()
         vm.migrations += 1
         vm.announce()  # gratuitous ARP through the new attachment
         report.finished_at = sim.now
+        downtime.end()
+        sim.trace.event("migrate.done", vm=vm.name, src=self.name,
+                        dst=dest.name, seconds=report.total_time,
+                        downtime=report.downtime,
+                        bytes=report.bytes_transferred)
+        span.end(rounds=report.n_rounds, bytes=report.bytes_transferred,
+                 downtime=report.downtime, converged=report.converged)
         return report
 
     # -- receiver side ----------------------------------------------------------
@@ -126,4 +140,5 @@ class Hypervisor:
         # ("resume", name) marker arrives with the last stop-and-copy byte.
         yield from drain_bytes(conn)
         self.migrations_in += 1
+        self.metrics.counter("migrations.in").add()
         conn.close()

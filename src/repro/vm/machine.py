@@ -79,6 +79,8 @@ class VirtualMachine:
     def announce(self) -> None:
         """Gratuitous ARP after resume ("the VMM will inject an
         unsolicited ARP broadcast ... on behalf of the virtual machine")."""
+        self.sim.trace.event("garp", vm=self.name, mac=str(self.vif.mac),
+                             ip=str(self.vif.ip))
         self.guest.stack.gratuitous_arp(self.vif)
 
     def memory_bytes(self) -> int:

@@ -86,6 +86,8 @@ def run_precopy(
         elapsed = sim.now - t0
         report.rounds.append((to_send, elapsed))
         report.bytes_transferred += _round_bytes(to_send)
+        sim.trace.event("migrate.round", vm=vm.name, round=round_no,
+                        pages=to_send, seconds=elapsed)
         dirtied = vm.dirty_model.unique_dirty_pages(elapsed, vm.total_pages)
         if dirtied <= config.stop_pages:
             to_send = dirtied

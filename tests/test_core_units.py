@@ -8,7 +8,6 @@ from repro.core.assembler import (
     PULSE_SIZE,
     PacketAssembler,
     WavData,
-    WavPulse,
     WavPunch,
     WavRelay,
 )

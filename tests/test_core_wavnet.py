@@ -4,7 +4,6 @@ rendezvous layer, L2 tunneling, keepalive, and the virtual LAN."""
 import pytest
 
 from repro.core.connection import ConnectionState
-from repro.net.addresses import IPv4Address
 from repro.net.icmp import Pinger
 from repro.net.tcp import drain_bytes, stream_bytes
 from repro.scenarios.wavnet_env import WavnetEnvironment

@@ -2,7 +2,6 @@
 WAVNet virtual LAN (paper §II.B: "protocols such as DHCP can be applied
 without any modification")."""
 
-import pytest
 
 from repro.net.addresses import IPv4Address, IPv4Network
 from repro.net.dhcp import DhcpClient, DhcpServer

@@ -1,7 +1,6 @@
 """Tests for the IPOP comparator: connectivity, overhead, relaying,
 bounded direct links, and migration blindness."""
 
-import pytest
 
 from repro.baselines.ipop import IpopConfig, IpopOverlay
 from repro.net.addresses import IPv4Address

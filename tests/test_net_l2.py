@@ -8,7 +8,6 @@ from repro.net.packet import (
     ArpPacket,
     EthernetFrame,
     IcmpMessage,
-    IPv4Packet,
     Payload,
     TcpSegment,
     UdpDatagram,

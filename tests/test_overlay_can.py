@@ -4,10 +4,9 @@ import pytest
 
 from repro.nat.types import NatType
 from repro.net.addresses import IPv4Address
-from repro.net.packet import Payload
 from repro.net.wan import WanCloud
 from repro.overlay.can import CanNode
-from repro.overlay.resources import ConnectionInfo, ResourceRecord, ResourceSpec
+from repro.overlay.resources import ConnectionInfo, ResourceRecord
 from repro.overlay.rpc import RpcEndpoint, RpcError, RpcTimeout
 from repro.scenarios.builder import make_public_host
 from repro.sim import Simulator

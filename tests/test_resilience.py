@@ -2,7 +2,6 @@
 rendezvous unavailability, and connection re-establishment — the
 "resources may join and leave" dynamics of §II."""
 
-import pytest
 
 from repro.apps.ping import Pinger
 from repro.core.connection import ConnectionState

@@ -6,15 +6,13 @@ import pytest
 
 from repro.net.addresses import IPv4Address
 from repro.net.icmp import Pinger
-from repro.net.l2 import Bridge, Switch, patch
+from repro.net.l2 import Bridge, patch
 from repro.net.tcp import drain_bytes, stream_bytes
 from repro.scenarios.builder import make_lan
 from repro.scenarios.wavnet_env import WavnetEnvironment
 from repro.sim import Simulator
 from repro.vm.dirty import HotColdDirtyModel, IdleDirtyModel, UniformDirtyModel
 from repro.vm.hypervisor import Hypervisor, bridge_attach
-from repro.vm.machine import PAGE_SIZE, VirtualMachine
-from repro.vm.migration import PreCopyConfig
 
 
 class TestDirtyModels:
