@@ -25,7 +25,7 @@ from repro.core.assembler import WavPulse
 from repro.net.addresses import IPv4Address
 from repro.net.packet import Payload
 from repro.overlay.resources import ConnectionInfo
-from repro.sim.engine import Event, Interrupt
+from repro.sim.engine import Event, Interrupt, Timer
 
 __all__ = ["ConnectionState", "WavConnection"]
 
@@ -71,7 +71,8 @@ class WavConnection:
         self.frames_received = 0
         self.pulses_received = 0
         self._punch_proc = None
-        self._keepalive_proc = None
+        self._pulse_timer: Optional[Timer] = None
+        self._pulse_cb = self._pulse_fire  # bind once, not per pulse
         self._punch_span = None
         self.taps: Optional[list] = None
 
@@ -163,8 +164,7 @@ class WavConnection:
             self.established_event.succeed(self)
         if self._punch_proc is not None and self._punch_proc.is_alive:
             self._punch_proc.interrupt("established")
-        self._keepalive_proc = self.sim.process(
-            self._keepalive_loop(), name=f"pulse:{self.driver.name}->{self.peer_name}")
+        self._pulse_timer = self.sim.timer(self.pulse_interval, self._pulse_cb)
         driver._connection_established(self)
 
     # -- inbound ---------------------------------------------------------------
@@ -227,33 +227,35 @@ class WavConnection:
             driver._send_raw(self.remote, payload)
 
     # -- keepalive / liveness ------------------------------------------------
-    def _keepalive_loop(self):
-        try:
-            while self.usable:
-                yield self.sim.timeout(self.pulse_interval)
-                if not self.usable:
-                    return
-                silent_for = self.sim.now - self.last_heard
-                if silent_for > self.liveness_factor * self.pulse_interval:
-                    self.state = ConnectionState.DEAD
-                    self.driver._connection_dead(self)
-                    return
-                self.send(self.driver.assembler.pulse())
-        except Interrupt:
+    def _pulse_fire(self) -> None:
+        """One keepalive tick: a cancelable timer chain instead of a
+        long-lived process — no generator frame, no Timeout/Event churn."""
+        self._pulse_timer = None
+        if not self.usable:
             return
+        silent_for = self.sim.now - self.last_heard
+        if silent_for > self.liveness_factor * self.pulse_interval:
+            self.state = ConnectionState.DEAD
+            self.driver._connection_dead(self)
+            return
+        self.send(self.driver.assembler.pulse())
+        self._pulse_timer = self.sim.timer(self.pulse_interval, self._pulse_cb)
 
     def close(self) -> None:
         self.state = ConnectionState.DEAD
         if self._punch_span is not None:
             self._punch_span.end(outcome="closed")
             self._punch_span = None
-        for proc in (self._punch_proc, self._keepalive_proc):
-            if proc is not None and proc.is_alive:
-                proc.interrupt("closed")
-                # The interrupt may land before the process's first step
-                # (generator never entered its try block); nobody waits on
-                # these helpers, so a resulting failure must not escape.
-                proc.defuse()
+        if self._pulse_timer is not None:
+            self._pulse_timer.cancel()
+            self._pulse_timer = None
+        proc = self._punch_proc
+        if proc is not None and proc.is_alive:
+            proc.interrupt("closed")
+            # The interrupt may land before the process's first step
+            # (generator never entered its try block); nobody waits on
+            # this helper, so a resulting failure must not escape.
+            proc.defuse()
         self.driver._connection_dead(self)
 
     def __repr__(self) -> str:

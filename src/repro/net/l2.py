@@ -90,7 +90,22 @@ def patch(a: Port, b: Port) -> None:
 
 
 class _Pipe:
-    """One direction of a link: queue -> serializer -> propagation."""
+    """One direction of a link: queue -> serializer -> propagation.
+
+    The datapath is callback-driven on the kernel fast lane — no
+    transmitter process, no per-frame Event round-trip:
+
+    * **Unshaped bypass** — with ``bandwidth_bps is None`` and an idle
+      serializer, ``send`` schedules the delivery directly: one calendar
+      entry per frame, zero Event allocations.
+    * **Shaped path** — an idle serializer starts the frame immediately
+      via one ``call_in``; completion pulls the next frame off the
+      drop-tail queue. Two calendar entries per frame total.
+
+    Timing is identical to the old process-based transmitter: frames
+    serialize strictly in order, loss is drawn after serialization, and
+    reshaping mid-frame lets the in-service frame finish at the old rate.
+    """
 
     def __init__(
         self,
@@ -114,27 +129,49 @@ class _Pipe:
         self.bytes_sent = 0
         self.frames_sent = 0
         self.frames_lost = 0
-        sim.process(self._transmitter(), name=f"pipe:{name}")
+        self._tx_frame: Optional[EthernetFrame] = None  # frame in service
+        self._finish_cb = self._finish_tx  # bind once, not per frame
 
     def send(self, frame: EthernetFrame) -> None:
+        if self._tx_frame is None and not self.queue.items:
+            bw = self.bandwidth_bps
+            if bw is None:
+                self._emit(frame)  # unshaped bypass: straight to the wire
+                return
+            self._tx_frame = frame
+            self.sim.call_in(frame.size * 8.0 / bw, self._finish_cb)
+            return
         self.queue.offer(frame)  # drop-tail on overflow (counted by Channel)
 
     @property
     def drops(self) -> int:
         return self.queue.drops
 
-    def _transmitter(self):
-        sim = self.sim
-        while True:
-            frame = yield self.queue.get()
-            if self.bandwidth_bps:
-                yield sim.timeout(frame.size * 8.0 / self.bandwidth_bps)
-            self.bytes_sent += frame.size
-            self.frames_sent += 1
-            if self.loss > 0.0 and self._loss_rng.random() < self.loss:
-                self.frames_lost += 1
-                continue
-            sim.call_in(self.latency, _Delivery(self.dst, frame))
+    def _emit(self, frame: EthernetFrame) -> None:
+        """Post-serialization half: accounting, loss, propagation."""
+        self.bytes_sent += frame.size
+        self.frames_sent += 1
+        if self.loss > 0.0 and self._loss_rng.random() < self.loss:
+            self.frames_lost += 1
+            return
+        self.sim.call_in(self.latency, _Delivery(self.dst, frame))
+
+    def _finish_tx(self) -> None:
+        frame = self._tx_frame
+        self._tx_frame = None
+        assert frame is not None
+        self._emit(frame)
+        # Pull queued frames; loop (not recursion) in case the link was
+        # reshaped to unbounded rate while frames were queued.
+        queue = self.queue
+        while queue.items:
+            frame = queue.get_nowait()
+            bw = self.bandwidth_bps
+            if bw:
+                self._tx_frame = frame
+                self.sim.call_in(frame.size * 8.0 / bw, self._finish_cb)
+                return
+            self._emit(frame)
 
 
 class _Delivery:

@@ -27,7 +27,7 @@ from typing import Any, Optional
 
 from repro.net.addresses import IPv4Address
 from repro.net.packet import ACK, FIN, RST, SYN, TcpSegment, ipv4
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Simulator, Timer
 from repro.sim.queues import Store
 
 __all__ = ["TcpConnection", "TcpLayer", "TcpListener", "ConnectionReset"]
@@ -135,8 +135,12 @@ class TcpConnection:
         self._retransmitted_since_probe = False
 
         # --- retransmit timer ---
+        # Cancelable kernel timer instead of a dedicated timer process:
+        # arming is one calendar push, rearming reuses a live timer when
+        # it fires at/before the new deadline (the fire re-arms itself).
         self._rto_deadline: Optional[float] = None
-        self._timer_kick = Event(self.sim)
+        self._rto_timer: Optional[Timer] = None
+        self._timer_cb = self._timer_fire  # bind once, not per arm
 
         # --- receiver state ---
         self.rcv_nxt = 0
@@ -158,7 +162,6 @@ class TcpConnection:
         self.reset = False
 
         self.sim.process(self._sender_loop(), name=f"tcp-send:{local_port}")
-        self.sim.process(self._timer_loop(), name=f"tcp-timer:{local_port}")
 
     # ------------------------------------------------------------------
     # Public API
@@ -223,8 +226,16 @@ class TcpConnection:
             self._send_kick.succeed(None)
 
     def _kick_timer(self) -> None:
-        if not self._timer_kick.triggered:
-            self._timer_kick.succeed(None)
+        """(Re)arm the RTO timer to cover ``_rto_deadline``."""
+        dl = self._rto_deadline
+        if dl is None:
+            return
+        t = self._rto_timer
+        if t is not None and t.active:
+            if t.when <= dl + 1e-12:
+                return  # fires at/before the deadline; re-arms itself
+            t.cancel()
+        self._rto_timer = self.sim.timer(max(dl - self.sim.now, 0.0), self._timer_cb)
 
     def _effective_window(self) -> int:
         return min(self.cwnd, self.snd_wnd)
@@ -337,27 +348,27 @@ class TcpConnection:
             self._rto_deadline = self.sim.now + self.rto
             self._kick_timer()
 
-    def _timer_loop(self):
+    def _timer_fire(self) -> None:
+        self._rto_timer = None
+        if self.reset:
+            return
+        dl = self._rto_deadline
+        if dl is None:
+            return  # everything acked while we slept; go dormant
         sim = self.sim
-        while True:
-            if self.reset:
-                return
-            if self._rto_deadline is None:
-                self._timer_kick = Event(sim)
-                yield self._timer_kick
-                continue
-            delay = self._rto_deadline - sim.now
-            if delay > 0:
-                self._timer_kick = Event(sim)
-                yield sim.any_of([sim.timeout(delay), self._timer_kick])
-                continue
-            # Deadline reached: anything outstanding?
-            if self.snd_una < self.snd_nxt or (self.state == "SYN_SENT"):
-                self._on_rto()
-            elif self.snd_buffered > 0 and self._effective_window() < self.mss:
-                self._persist_probe()
-            else:
-                self._rto_deadline = None
+        if dl - sim.now > 1e-12:
+            # Deadline moved later while we slept (ACKs restart the RTO
+            # without rescheduling); sleep out the remainder.
+            self._rto_timer = sim.timer(dl - sim.now, self._timer_cb)
+            return
+        # Deadline reached: anything outstanding?
+        if self.snd_una < self.snd_nxt or (self.state == "SYN_SENT"):
+            self._on_rto()
+        elif self.snd_buffered > 0 and self._effective_window() < self.mss:
+            self._persist_probe()
+        else:
+            self._rto_deadline = None
+        self._kick_timer()  # no-op if the deadline was cleared
 
     def _on_rto(self) -> None:
         self.timeouts += 1
@@ -888,7 +899,10 @@ class TcpConnection:
             pending.event.defuse()
         self._send_waiters.clear()
         self._kick_send()
-        self._kick_timer()
+        self._rto_deadline = None
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
         self.layer._remove(self)
 
 

@@ -89,6 +89,8 @@ class WanCloud:
         port = self.ports.get(dst)
         if port is None:
             return
+        # Kernel fast lane: one calendar entry per frame, no Event churn
+        # (same treatment as the unshaped-link bypass in net/l2).
         self.sim.call_in(self.latency(src, dst), _CloudDelivery(port, frame))
 
 

@@ -1,10 +1,15 @@
 """Poor-man's process profiler for the simulation kernel.
 
-The engine calls :meth:`StepProfiler.account` once per process resume
-with the wall-clock time the generator ran; the profiler aggregates by
-process name, giving "which processes burn the host CPU" without any
-external tooling.  Process names repeat across instances (``pipe:...``,
-``wav-rx:...``) so grouping is also available by name prefix.
+When enabled, the engine calls :meth:`StepProfiler.account` once per
+process resume with the wall-clock time the generator ran; the profiler
+aggregates by process name, giving "which processes burn the host CPU"
+without any external tooling.  Process names repeat across instances
+(``wav-rx:...``, ``tcp-send:...``) so grouping is also available by name
+prefix.
+
+Profiling is **off by default**: the two ``perf_counter()`` calls per
+resume cost more than most resumes do. Call ``sim.profile.enable()``
+before the run to turn accounting on.
 """
 
 from __future__ import annotations
@@ -15,10 +20,20 @@ __all__ = ["StepProfiler"]
 class StepProfiler:
     """Events-dispatched and wall-time accounting per named process."""
 
-    __slots__ = ("stats",)
+    __slots__ = ("stats", "enabled")
 
-    def __init__(self) -> None:
+    def __init__(self, enabled: bool = False) -> None:
         self.stats: dict[str, list] = {}  # name -> [steps, wall_seconds]
+        self.enabled = enabled
+
+    def enable(self) -> "StepProfiler":
+        """Turn per-resume accounting on (idempotent); returns self."""
+        self.enabled = True
+        return self
+
+    def disable(self) -> "StepProfiler":
+        self.enabled = False
+        return self
 
     def account(self, name: str, wall: float) -> None:
         entry = self.stats.get(name)

@@ -20,6 +20,7 @@ from repro.sim.engine import (
     SimulationError,
     Simulator,
     Timeout,
+    Timer,
 )
 from repro.sim.monitor import Counter, IntervalRate, TimeSeries
 from repro.sim.queues import Channel, QueueFull, Store
@@ -41,4 +42,5 @@ __all__ = [
     "Store",
     "TimeSeries",
     "Timeout",
+    "Timer",
 ]

@@ -13,6 +13,20 @@ The design mirrors SimPy's proven semantics but is intentionally smaller:
 Processes resume in deterministic order: the calendar is keyed by
 ``(time, seq)`` where ``seq`` increases monotonically with every schedule
 operation.
+
+Two calendar fast paths keep the per-frame hot loops cheap:
+
+* :meth:`Simulator.call_in` / :meth:`Simulator.call_at` push a bare
+  callable onto the calendar — no :class:`Event`, no callback list, no
+  lambda. The entry is ``(time, seq, None, fn)``; ``(time, seq)`` stays
+  the ordering key, so fast-lane entries interleave deterministically
+  with events.
+* :meth:`Simulator.timer` returns a tiny cancelable :class:`Timer`
+  handle. Cancelation is *lazy*: the heap entry stays put but is skipped
+  (without advancing the clock or counting as a dispatch) when popped,
+  and the calendar is compacted once canceled entries dominate — so
+  rearmed keepalives, interrupted sleeps, and TCP retransmit timers do
+  not leak calendar entries.
 """
 
 from __future__ import annotations
@@ -31,6 +45,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "Timer",
 ]
 
 
@@ -54,6 +69,7 @@ class Interrupt(Exception):
 _PENDING = 0
 _TRIGGERED = 1  # scheduled on the calendar, callbacks not yet run
 _PROCESSED = 2  # callbacks have run
+_CANCELLED = 3  # scheduled, then canceled; skipped when popped
 
 
 class Event:
@@ -160,6 +176,46 @@ class Timeout(Event):
         self._value = value
         sim._schedule(self, delay=delay)
 
+    def cancel(self) -> None:
+        """Lazily cancel: the calendar entry stays on the heap but is
+        skipped when popped (no clock advance, no dispatch counted).
+
+        Only legal when the caller owns every waiter — canceling a
+        timeout someone else still waits on would strand that waiter.
+        A timeout whose callbacks already ran is left untouched.
+        """
+        if self._state == _TRIGGERED:
+            self._state = _CANCELLED
+            self.callbacks = None  # drop waiter refs now, not at fire time
+            self._value = None
+            self.sim._note_cancel()
+
+
+class Timer:
+    """Cancelable fast-lane timer: runs ``fn()`` at ``when`` unless
+    canceled first. Far cheaper than ``Timeout`` + callback — no Event
+    state machine, no callback list — and a canceled timer is lazily
+    skipped (and eventually compacted away) instead of dispatched.
+    Created via :meth:`Simulator.timer`.
+    """
+
+    __slots__ = ("sim", "fn", "when")
+
+    def __init__(self, sim: "Simulator", fn: Callable[[], None], when: float) -> None:
+        self.sim = sim
+        self.fn: Callable[[], None] | None = fn
+        self.when = when
+
+    @property
+    def active(self) -> bool:
+        """True until the timer fires or is canceled."""
+        return self.fn is not None
+
+    def cancel(self) -> None:
+        if self.fn is not None:
+            self.fn = None
+            self.sim._note_cancel()
+
 
 class _Condition(Event):
     """Base for AnyOf/AllOf composite events."""
@@ -186,10 +242,22 @@ class _Condition(Event):
         if ev._exc is not None:
             ev.defuse()
             self.fail(ev._exc)
+            self._cancel_pending_timeouts()
             return
         self._n_done += 1
         if self._satisfied():
             self.succeed(self._collect())
+            self._cancel_pending_timeouts()
+
+    def _cancel_pending_timeouts(self) -> None:
+        """Once the condition is decided, losing Timeout children whose
+        only waiter is this condition are dead weight on the calendar —
+        cancel them (the ``any_of([data, deadline])`` pattern otherwise
+        leaks one calendar entry per iteration)."""
+        for ev in self.events:
+            if (ev.__class__ is Timeout and ev._state == _TRIGGERED
+                    and ev.callbacks is not None and len(ev.callbacks) == 1):
+                ev.cancel()
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -263,14 +331,18 @@ class Process(Event):
         target = self._waiting_on
         if target is not None:
             self._waiting_on = None
-        kick = Event(self.sim)
-        kick.add_callback(lambda _ev: self._throw_interrupt(cause, target))
-        kick.succeed(None)
+            # The abandoned wait: if it is a Timeout nobody else waits
+            # on, cancel it so the calendar does not accumulate dead
+            # entries (keepalive/punch loops interrupt these constantly).
+            if (target.__class__ is Timeout and target.callbacks is not None
+                    and len(target.callbacks) == 1):
+                target.cancel()
+        self.sim.call_in(0.0, lambda: self._throw_interrupt(cause))
 
-    def _throw_interrupt(self, cause: Any, stale: Event | None) -> None:
+    def _throw_interrupt(self, cause: Any) -> None:
         if not self.is_alive:
             return  # died between interrupt() and delivery
-        self._step(lambda: self.generator.throw(Interrupt(cause)), stale_wait=stale)
+        self._step(lambda: self.generator.throw(Interrupt(cause)))
 
     def _resume(self, event: Event) -> None:
         if self._waiting_on is not event:
@@ -284,11 +356,15 @@ class Process(Event):
             value = event._value
             self._step(lambda: self.generator.send(value))
 
-    def _step(self, advance: Callable[[], Any], stale_wait: Event | None = None) -> None:
+    def _step(self, advance: Callable[[], Any]) -> None:
         sim = self.sim
         prev = sim._active_process
         sim._active_process = self
-        wall = perf_counter()
+        # Profiling is opt-in: the two perf_counter() calls per resume
+        # cost more than most resumes do, so they are gated off unless
+        # sim.profile.enable() was called.
+        profiling = sim.profile.enabled
+        wall = perf_counter() if profiling else 0.0
         try:
             target = advance()
         except StopIteration as stop:
@@ -304,7 +380,8 @@ class Process(Event):
             return
         finally:
             sim._active_process = prev
-            sim.profile.account(self.name, perf_counter() - wall)
+            if profiling:
+                sim.profile.account(self.name, perf_counter() - wall)
         if target is self:
             raise SimulationError(f"process {self.name!r} cannot wait on itself")
         if not isinstance(target, Event):
@@ -333,8 +410,14 @@ class Simulator:
 
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
-        self._calendar: list[tuple[float, int, Event]] = []
+        # Calendar entries are heap tuples ordered by (time, seq):
+        #   (time, seq, event)           — a triggered Event
+        #   (time, seq, None, callable)  — fast-lane call_in/call_at/timer
+        # seq is unique, so comparison never reaches the third element
+        # and the two shapes can share one heap.
+        self._calendar: list[tuple] = []
         self._seq = 0
+        self._cancelled = 0  # canceled entries still parked on the heap
         self._active_process: Process | None = None
         self.events_dispatched = 0
         from repro.obs import MetricsRegistry, StepProfiler, Tracer
@@ -362,38 +445,118 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
-        """Run ``fn()`` at absolute time ``when`` (>= now)."""
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Fast lane: run ``fn()`` at absolute time ``when`` (>= now).
+
+        Pushes the bare callable onto the calendar — no Event, no
+        callback list. Not cancelable; use :meth:`timer` for that.
+        """
         if when < self.now:
             raise SimulationError(f"call_at({when}) is in the past (now={self.now})")
-        ev = Timeout(self, when - self.now)
-        ev.add_callback(lambda _ev: fn())
-        return ev
+        self._seq += 1
+        heapq.heappush(self._calendar, (when, self._seq, None, fn))
 
-    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Run ``fn()`` after ``delay`` time units."""
-        ev = Timeout(self, delay)
-        ev.add_callback(lambda _ev: fn())
-        return ev
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        """Fast lane: run ``fn()`` after ``delay`` time units (see
+        :meth:`call_at`)."""
+        if delay < 0:
+            raise SimulationError(f"negative call_in delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._calendar, (self.now + delay, self._seq, None, fn))
+
+    def timer(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Cancelable fast lane: run ``fn()`` after ``delay`` unless the
+        returned :class:`Timer` is canceled first."""
+        if delay < 0:
+            raise SimulationError(f"negative timer delay {delay!r}")
+        t = Timer(self, fn, self.now + delay)
+        self._seq += 1
+        heapq.heappush(self._calendar, (t.when, self._seq, None, t))
+        return t
 
     # -- scheduling ---------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1
         heapq.heappush(self._calendar, (self.now + delay, self._seq, event))
 
+    def _note_cancel(self) -> None:
+        """Bookkeeping for lazy cancelation; compacts the calendar when
+        canceled entries dominate so timer churn cannot grow the heap
+        without bound."""
+        self._cancelled += 1
+        if self._cancelled >= 64 and self._cancelled * 2 > len(self._calendar):
+            self._compact()
+
+    def _compact(self) -> None:
+        live = []
+        for entry in self._calendar:
+            item = entry[2]
+            if item is None:
+                fn = entry[3]
+                if fn.__class__ is Timer and fn.fn is None:
+                    continue
+            elif item._state == _CANCELLED:
+                continue
+            live.append(entry)
+        heapq.heapify(live)  # (time, seq) keys are untouched: order is preserved
+        self._calendar = live
+        self._cancelled = 0
+
     # -- execution ----------------------------------------------------
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` if the calendar is empty."""
-        return self._calendar[0][0] if self._calendar else float("inf")
+        """Time of the next live entry, or ``inf`` if none remain.
+
+        Canceled entries reached at the head are popped here (lazy
+        removal) so the reported time is always a real upcoming event.
+        """
+        cal = self._calendar
+        while cal:
+            entry = cal[0]
+            item = entry[2]
+            if item is None:
+                fn = entry[3]
+                if fn.__class__ is not Timer or fn.fn is not None:
+                    return entry[0]
+            elif item._state != _CANCELLED:
+                return entry[0]
+            heapq.heappop(cal)
+            self._cancelled -= 1
+        return float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._calendar:
+        """Dispatch the next live calendar entry.
+
+        Canceled entries encountered on the way are discarded without
+        advancing the clock or counting as a dispatch; if only canceled
+        entries remained, the calendar drains quietly.
+        """
+        cal = self._calendar
+        if not cal:
             raise SimulationError("step() on an empty calendar")
-        when, _seq, event = heapq.heappop(self._calendar)
-        self.now = when
-        self.events_dispatched += 1
-        event._run_callbacks()
+        pop = heapq.heappop
+        while cal:
+            entry = pop(cal)
+            item = entry[2]
+            if item is None:
+                fn = entry[3]
+                if fn.__class__ is Timer:
+                    cb = fn.fn
+                    if cb is None:
+                        self._cancelled -= 1
+                        continue
+                    fn.fn = None
+                    fn = cb
+                self.now = entry[0]
+                self.events_dispatched += 1
+                fn()
+                return
+            if item._state == _CANCELLED:
+                self._cancelled -= 1
+                continue
+            self.now = entry[0]
+            self.events_dispatched += 1
+            item._run_callbacks()
+            return
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the calendar drains, ``until`` time passes, or an
@@ -415,7 +578,15 @@ class Simulator:
         horizon = float("inf") if until is None else float(until)
         if horizon < self.now:
             raise SimulationError(f"run(until={horizon}) is in the past (now={self.now})")
-        while self._calendar and self._calendar[0][0] <= horizon:
+        # peek() purges canceled heads, so the horizon check always sees
+        # a live entry and step() dispatches exactly that entry. peek()
+        # returning inf means no live events remain (even with until=None,
+        # where horizon is also inf — hence the explicit inf check).
+        inf = float("inf")
+        while True:
+            t = self.peek()
+            if t == inf or t > horizon:
+                break
             self.step()
         if horizon != float("inf"):
             self.now = horizon

@@ -113,7 +113,14 @@ class Channel(Store):
         self.drops = 0
 
     def offer(self, item: Any) -> bool:
-        if self.try_put(item):
+        # Hot path for every queued frame: inline the bound/deliver logic
+        # (capacity is always an int for a Channel) instead of paying the
+        # is_full property plus two method calls of ``try_put``.
+        if len(self.items) < self.capacity:
+            if self._getters:
+                self._getters.popleft().succeed(item)
+            else:
+                self.items.append(item)
             return True
         self.drops += 1
         return False

@@ -1,0 +1,95 @@
+"""Run-twice determinism golden tests.
+
+The kernel fast path (bare-callable scheduling, cancelable lazy timers,
+the unshaped-link bypass) all touch event ordering, so these tests pin
+the strongest property the kernel promises: the same seed reproduces a
+run *exactly* — event counts, metric values, and the trace event log
+are identical between two back-to-back runs of the same build.
+"""
+
+import json
+
+from repro.apps.netperf import netperf_stream, netserver
+from repro.net.addresses import mac_factory
+from repro.net.l2 import Link, Port
+from repro.net.packet import ETHERTYPE_IPV4, EthernetFrame, Payload
+from repro.scenarios.emulated import build_emulated_wan
+from repro.sim import Simulator
+
+
+def _run_mesh_once():
+    """Fig-8's smallest rung, scaled to test time: a 3-host emulated WAN
+    full mesh with keepalives running and one netperf stream measured."""
+    sim = Simulator(seed=53)
+    env, hosts = build_emulated_wan(sim, 3, wan_bandwidth_bps=100e6,
+                                    tcp_mss=8192, udp_timeout=30.0)
+    started = sim.process(env.start_all())
+    sim.run(until=started)
+    mesh = sim.process(env.connect_full_mesh())
+    sim.run(until=mesh)
+    sim.run(until=sim.now + 10.0)  # several keepalive pulse periods
+    source, peer = hosts[0], hosts[1]
+    sim.process(netserver(peer.host))
+    p = sim.process(netperf_stream(source.host, peer.virtual_ip, duration=2.0))
+    sim.run(until=p)
+    return {
+        "events": sim.events_dispatched,
+        "now": sim.now,
+        "throughput": p.value.throughput_mbps,
+        "metrics": json.dumps(sim.metrics.snapshot(), sort_keys=True,
+                              default=str),
+        "trace": sim.trace.to_jsonl(),
+    }
+
+
+def test_fig08_scenario_run_twice_identical():
+    r1 = _run_mesh_once()
+    r2 = _run_mesh_once()
+    assert r1["events"] == r2["events"]
+    assert r1["now"] == r2["now"]
+    assert r1["throughput"] == r2["throughput"]
+    assert r1["metrics"] == r2["metrics"]
+    assert r1["trace"] == r2["trace"]
+    # Sanity: the run actually did something worth pinning.
+    assert r1["events"] > 1000
+    assert r1["throughput"] > 0
+
+
+class _Count:
+    def __init__(self):
+        self.frames = 0
+
+    def on_frame(self, frame, port):
+        self.frames += 1
+
+
+def _run_lossy_once():
+    sim = Simulator(seed=11)
+    mint = mac_factory()
+    sink = _Count()
+    a = Port(_Count(), name="a")
+    b = Port(sink, name="b")
+    link = Link(sim, a, b, latency=0.001, bandwidth_bps=10e6, loss=0.2,
+                name="lossy")
+    frame = EthernetFrame(mint(), mint(), ETHERTYPE_IPV4,
+                          Payload(512, data=None))
+
+    def blaster(sim):
+        for _ in range(500):
+            a.transmit(frame)
+            yield sim.timeout(0.0005)
+
+    sim.process(blaster(sim))
+    sim.run()
+    return (sink.frames, link.ab.frames_lost, sim.events_dispatched, sim.now)
+
+
+def test_lossy_link_run_twice_identical():
+    r1 = _run_lossy_once()
+    r2 = _run_lossy_once()
+    assert r1 == r2
+    delivered, lost, _events, _now = r1
+    # Loss draws come from the link's named RNG stream, so both runs
+    # drop the same frames; nothing is double-counted or leaked.
+    assert lost > 0 and delivered > 0
+    assert delivered + lost == 500

@@ -267,8 +267,21 @@ class TestEngineAccounting:
         sim.run()
         assert sim.events_dispatched >= 5
 
+    def test_profile_disabled_by_default(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        sim.process(proc(sim), name="quiet")
+        sim.run()
+        assert not sim.profile.enabled
+        assert sim.profile.total_steps() == 0
+        assert sim.profile.steps("quiet") == 0
+
     def test_profile_aggregates_by_process_name(self):
         sim = Simulator()
+        sim.profile.enable()  # off by default: accounting is opt-in
 
         def proc(sim):
             for _ in range(3):

@@ -165,7 +165,9 @@ def test_interrupt_delivered_with_cause():
     sim.run()
     assert causes == ["stop-now"]
     assert p.value == "interrupted"
-    assert sim.now == pytest.approx(100)  # run() drains the stale timeout
+    # The stale 100 s timeout is canceled on interrupt, so the run ends
+    # at the interrupt time instead of draining a dead calendar entry.
+    assert sim.now == pytest.approx(2)
 
 
 def test_interrupted_process_does_not_wake_on_stale_event():
@@ -239,8 +241,9 @@ def test_any_of_fires_on_first():
     p = sim.process(proc(sim))
     sim.run()
     assert list(p.value.values()) == ["fast"]
-    # slow timeout still drains
-    assert sim.now == 2
+    # The losing sibling timeout is canceled when the condition fires,
+    # so the run ends at the winner's time, not the loser's.
+    assert sim.now == 1
 
 
 def test_all_of_waits_for_all():
@@ -397,3 +400,136 @@ def test_determinism_two_identical_runs():
 
     assert build_and_run(42) == build_and_run(42)
     assert build_and_run(42) != build_and_run(43)
+
+
+# ----------------------------------------------------------------------
+# Kernel fast path: call_in/call_at fast lane, cancelable timers, lazy
+# calendar removal.
+# ----------------------------------------------------------------------
+
+def test_fast_lane_and_events_share_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim):
+        order.append("init")
+        yield sim.timeout(2.0)
+        order.append("proc@2")
+
+    sim.process(proc(sim))
+    sim.call_in(2.0, lambda: order.append("lane@2"))
+    sim.call_at(1.0, lambda: order.append("lane@1"))
+    sim.run()
+    # Fast-lane callables and process wakeups share one (time, seq)
+    # keyspace: at t=2 the call_in fires first because it was scheduled
+    # before the process reached its timeout.
+    assert order == ["init", "lane@1", "lane@2", "proc@2"]
+
+
+def test_fast_lane_rejects_past_and_negative():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_at(-1.0, lambda: None)
+
+
+def test_timer_fires_once_and_deactivates():
+    sim = Simulator()
+    fired = []
+    t = sim.timer(1.5, lambda: fired.append(sim.now))
+    assert t.active
+    assert t.when == 1.5
+    sim.run()
+    assert fired == [1.5]
+    assert not t.active
+
+
+def test_timer_cancel_before_fire():
+    sim = Simulator()
+    fired = []
+    t = sim.timer(5.0, lambda: fired.append("late"))
+    sim.call_in(1.0, t.cancel)
+    sim.run()
+    assert fired == []
+    assert not t.active
+    # The canceled entry neither fires nor advances the clock.
+    assert sim.now == 1.0
+    assert sim.peek() == float("inf")
+
+
+def test_timeout_cancel_is_lazy_and_uncounted():
+    sim = Simulator()
+    stale = sim.timeout(100.0)
+    sim.timeout(1.0)
+    stale.cancel()
+    sim.run()
+    assert sim.now == 1.0
+    # Only the live timeout counts as a dispatch.
+    assert sim.events_dispatched == 1
+
+
+def test_interrupted_keepalive_loop_drains_calendar():
+    """Regression: interrupting a process parked on a long timeout must
+    not leak the timeout on the calendar — stale entries used to keep
+    the run alive until the abandoned wake time."""
+    sim = Simulator()
+    pulses = []
+
+    def keepalive(sim):
+        try:
+            while True:
+                yield sim.timeout(5.0)
+                pulses.append(sim.now)
+        except Interrupt:
+            return
+
+    p = sim.process(keepalive(sim))
+
+    def killer(sim):
+        yield sim.timeout(12.0)
+        p.interrupt("closed")
+
+    sim.process(killer(sim))
+    sim.run()
+    assert pulses == [5.0, 10.0]
+    # Ends at the interrupt, not at the abandoned t=15 pulse.
+    assert sim.now == 12.0
+    assert sim.peek() == float("inf")
+
+
+def test_shared_timeout_survives_losing_any_of():
+    sim = Simulator()
+    shared = sim.timeout(3.0, value="tick")
+    results = []
+
+    def fast_waiter(sim):
+        got = yield AnyOf(sim, [sim.timeout(1.0, value="fast"), shared])
+        results.append(("fast", list(got.values())))
+
+    def slow_waiter(sim):
+        yield shared
+        results.append(("slow", sim.now))
+
+    sim.process(fast_waiter(sim))
+    sim.process(slow_waiter(sim))
+    sim.run()
+    # The condition may only reclaim timeouts it exclusively waits on;
+    # `shared` has a second waiter and must still fire for it.
+    assert ("fast", ["fast"]) in results
+    assert ("slow", 3.0) in results
+
+
+def test_calendar_compaction_reclaims_canceled_bulk():
+    sim = Simulator()
+    survivor_fired = []
+    sim.call_in(1.0, lambda: survivor_fired.append(sim.now))
+    timers = [sim.timer(10.0 + i, lambda: None) for i in range(200)]
+    for t in timers:
+        t.cancel()
+    # Lazy removal compacts once canceled entries dominate the heap, so
+    # the calendar shrinks well below the 201 scheduled entries.
+    assert len(sim._calendar) < 200
+    sim.run()
+    assert survivor_fired == [1.0]
+    assert sim.now == 1.0
