@@ -1,0 +1,176 @@
+"""Churn-recovery benchmark: how fast does the mesh heal itself?
+
+Runs the scripted churn scenario (rendezvous-server kill + restore,
+host-driver crash/restore, NAT reboot, access-link flap) over several
+seeds and reports the distributions the failure plane exists to measure:
+
+* ``repair_seconds``   — outage duration per repaired tunnel, from the
+  liveness-declared death to the re-punched connection (the drivers'
+  ``<h>.driver.repair.seconds`` histograms).
+* ``failover_seconds`` — time for a driver to re-register with a backup
+  rendezvous server after its primary dies
+  (``<h>.driver.rvz.failover_seconds``).
+* ``frames_lost``      — application frames dropped for lack of a usable
+  tunnel during outages (``<h>.driver.frames.dropped_outage``).
+
+Every run must end converged: all running hosts registered with a
+running rendezvous server and every pair connected by a usable tunnel —
+with nobody calling ``connect()`` after the mesh was first built.
+Results land in ``BENCH_churn.json`` at the repo root.
+
+Run standalone (``python benchmarks/bench_churn_recovery.py``) or via
+pytest. ``--check`` exits non-zero if any seed fails to converge or no
+repairs/failovers were exercised.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.net.icmp import Pinger  # noqa: E402
+from repro.scenarios.churn import (  # noqa: E402
+    build_churn_env,
+    mesh_converged,
+    scripted_churn_plan,
+)
+from repro.sim import Simulator  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_churn.json"
+
+SEEDS = (7, 11, 23, 42, 101)
+HORIZON = 220.0  # sim-seconds past the established mesh
+
+
+def run_seed(seed: int, n_hosts: int = 4, n_rendezvous: int = 2) -> dict:
+    sim = Simulator(seed=seed)
+    env = build_churn_env(sim, n_hosts=n_hosts, n_rendezvous=n_rendezvous)
+    plan = scripted_churn_plan(sim, env).arm()
+    # Ring traffic for the whole run: hosts that lose their tunnel drop
+    # these pings into ``frames.dropped_outage`` until repair lands.
+    names = list(env.hosts)
+    for i, name in enumerate(names):
+        nxt = env.hosts[names[(i + 1) % len(names)]]
+        pinger = Pinger(env.hosts[name].host.stack, nxt.virtual_ip,
+                        interval=1.0, timeout=1.0)
+        sim.process(pinger.run(int(HORIZON) - 5), name=f"churn-ping:{name}")
+    sim.run(until=sim.now + HORIZON)
+
+    repair, failover = [], []
+    frames_lost = repairs = failovers = 0
+    for name in env.hosts:
+        scope = sim.metrics.scope(f"{name}.driver")
+        repair.extend(scope.histogram("repair.seconds").values.tolist())
+        failover.extend(scope.histogram("rvz.failover_seconds").values.tolist())
+        frames_lost += int(scope.value("frames.dropped_outage"))
+        repairs += int(scope.value("repair.success"))
+        failovers += int(scope.value("rvz.failovers"))
+    return {
+        "seed": seed,
+        "faults_injected": len(plan),
+        "repairs": repairs,
+        "failovers": failovers,
+        "repair_seconds": repair,
+        "failover_seconds": failover,
+        "frames_lost": frames_lost,
+        "converged": mesh_converged(env),
+    }
+
+
+def _dist(samples: list[float]) -> dict:
+    if not samples:
+        return {"count": 0}
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "count": len(samples),
+        "mean_s": round(float(arr.mean()), 3),
+        "p50_s": round(float(np.percentile(arr, 50)), 3),
+        "p95_s": round(float(np.percentile(arr, 95)), 3),
+        "max_s": round(float(arr.max()), 3),
+    }
+
+
+def run_all() -> dict:
+    runs = [run_seed(seed) for seed in SEEDS]
+    repair = [s for r in runs for s in r["repair_seconds"]]
+    failover = [s for r in runs for s in r["failover_seconds"]]
+    return {
+        "seeds": list(SEEDS),
+        "repair_seconds": _dist(repair),
+        "failover_seconds": _dist(failover),
+        "frames_lost_total": sum(r["frames_lost"] for r in runs),
+        "repairs_total": sum(r["repairs"] for r in runs),
+        "failovers_total": sum(r["failovers"] for r in runs),
+        "all_converged": all(r["converged"] for r in runs),
+        "per_seed": [
+            {k: v for k, v in r.items()
+             if k not in ("repair_seconds", "failover_seconds")}
+            for r in runs
+        ],
+    }
+
+
+def write_json(results: dict) -> None:
+    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def render(results: dict) -> str:
+    rep, fo = results["repair_seconds"], results["failover_seconds"]
+    lines = ["Churn recovery (scripted rendezvous kill / host crash / "
+             "NAT reboot / link flap)"]
+    lines.append(f"  seeds: {results['seeds']}  "
+                 f"converged: {results['all_converged']}")
+    lines.append(f"  tunnel re-punch   n={rep.get('count', 0):<4} "
+                 f"mean {rep.get('mean_s', '-')}s  p50 {rep.get('p50_s', '-')}s  "
+                 f"p95 {rep.get('p95_s', '-')}s  max {rep.get('max_s', '-')}s")
+    lines.append(f"  rvz failover      n={fo.get('count', 0):<4} "
+                 f"mean {fo.get('mean_s', '-')}s  p50 {fo.get('p50_s', '-')}s  "
+                 f"p95 {fo.get('p95_s', '-')}s  max {fo.get('max_s', '-')}s")
+    lines.append(f"  frames lost during outages: "
+                 f"{results['frames_lost_total']}")
+    return "\n".join(lines)
+
+
+def check(results: dict) -> bool:
+    ok = True
+    if not results["all_converged"]:
+        print("FAIL: a seed ended without full mesh convergence")
+        ok = False
+    if results["repairs_total"] == 0:
+        print("FAIL: no tunnel repairs were exercised")
+        ok = False
+    if results["failovers_total"] == 0:
+        print("FAIL: no rendezvous failovers were exercised")
+        ok = False
+    if ok:
+        print("ok: all seeds converged "
+              f"({results['repairs_total']} repairs, "
+              f"{results['failovers_total']} failovers)")
+    return ok
+
+
+def main(argv: list[str]) -> int:
+    results = run_all()
+    write_json(results)
+    print(render(results))
+    if "--check" in argv:
+        return 0 if check(results) else 1
+    return 0
+
+
+def test_churn_recovery(run_once, emit):
+    """Benchmark-suite entry point: record recovery distributions and
+    enforce convergence."""
+    results = run_once(run_all)
+    write_json(results)
+    emit(render(results))
+    assert check(results)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -93,9 +93,12 @@ class WavConnection:
 
     # -- candidate endpoints --------------------------------------------------
     def candidates(self) -> list[tuple[IPv4Address, int]]:
-        """Endpoints worth probing, public first, private for LAN peers."""
+        """Endpoints worth probing, public first, private for LAN peers.
+        While relayed, ``remote`` is the rendezvous endpoint — not a
+        punch target — so upgrade punching probes only the peer's own
+        candidates."""
         out: list[tuple[IPv4Address, int]] = []
-        if self.remote is not None:
+        if self.remote is not None and not self.relayed:
             out.append(self.remote)
         if self.peer_conn is not None:
             pub = (self.peer_conn.public_ip, self.peer_conn.public_port)
@@ -115,10 +118,15 @@ class WavConnection:
                                                 name=f"punch:{self.driver.name}->{self.peer_name}")
 
     def _punch_loop(self):
+        # Also runs for ESTABLISHED+relayed connections: periodic
+        # relay->direct upgrade attempts re-punch without tearing the
+        # relay path down (an upgrade timeout leaves the relay in place).
         deadline = self.sim.now + self.punch_timeout
         nonce = 0
         try:
-            while self.state is ConnectionState.PUNCHING and self.sim.now < deadline:
+            while (self.sim.now < deadline
+                   and (self.state is ConnectionState.PUNCHING
+                        or (self.state is ConnectionState.ESTABLISHED and self.relayed))):
                 for endpoint in self.candidates():
                     self.driver._m_punch_tx.add()
                     self.driver._send_raw(endpoint,
@@ -129,6 +137,9 @@ class WavConnection:
             return
         if self.state is ConnectionState.PUNCHING:
             self._fail()
+        elif self._punch_span is not None and self.relayed:
+            self._punch_span.end(outcome="still_relayed")
+            self._punch_span = None
 
     def _fail(self) -> None:
         self.state = ConnectionState.DEAD
@@ -140,13 +151,18 @@ class WavConnection:
             self.established_event.fail(TimeoutError(
                 f"hole punching to {self.peer_name} failed"))
             self.established_event.defuse()
-        self.driver._connection_dead(self)
+        self.driver._connection_dead(self, reason="punch_timeout")
 
     def _establish(self, remote: tuple[IPv4Address, int]) -> None:
-        self.remote = remote
         self.last_heard = self.sim.now
         if self.state is ConnectionState.ESTABLISHED:
+            if (self.relayed and remote != (self.driver.rendezvous_ip,
+                                            self.driver.rendezvous_port)):
+                self._upgrade(remote)
+            else:
+                self.remote = remote
             return
+        self.remote = remote
         self.state = ConnectionState.ESTABLISHED
         self.established_at = self.sim.now
         driver = self.driver
@@ -166,6 +182,22 @@ class WavConnection:
             self._punch_proc.interrupt("established")
         self._pulse_timer = self.sim.timer(self.pulse_interval, self._pulse_cb)
         driver._connection_established(self)
+
+    def _upgrade(self, remote: tuple[IPv4Address, int]) -> None:
+        """Relay->direct upgrade: a punch made it through after the
+        relay fallback — move the data path onto the direct endpoint."""
+        self.relayed = False
+        self.remote = remote
+        driver = self.driver
+        driver._m_upgraded.add()
+        if self._punch_span is not None:
+            self._punch_span.end(outcome="upgraded")
+            self._punch_span = None
+        if self._punch_proc is not None and self._punch_proc.is_alive:
+            self._punch_proc.interrupt("upgraded")
+        driver._connection_established(self)
+        self.sim.trace.event("upgraded", host=driver.name, peer=self.peer_name,
+                             remote=f"{remote[0]}:{remote[1]}")
 
     # -- inbound ---------------------------------------------------------------
     def on_punch(self, src: tuple[IPv4Address, int], nonce: int) -> None:
@@ -208,6 +240,8 @@ class WavConnection:
     # -- outbound -------------------------------------------------------------
     def send(self, payload: Payload) -> None:
         if not self.usable:
+            if not isinstance(payload.data, WavPulse):
+                self.driver._m_dropped_outage.add()
             return
         self.frames_sent += 1
         self.bytes_sent += payload.size
@@ -236,7 +270,7 @@ class WavConnection:
         silent_for = self.sim.now - self.last_heard
         if silent_for > self.liveness_factor * self.pulse_interval:
             self.state = ConnectionState.DEAD
-            self.driver._connection_dead(self)
+            self.driver._connection_dead(self, reason="liveness")
             return
         self.send(self.driver.assembler.pulse())
         self._pulse_timer = self.sim.timer(self.pulse_interval, self._pulse_cb)
@@ -256,7 +290,7 @@ class WavConnection:
             # (generator never entered its try block); nobody waits on
             # this helper, so a resulting failure must not escape.
             proc.defuse()
-        self.driver._connection_dead(self)
+        self.driver._connection_dead(self, reason="closed")
 
     def __repr__(self) -> str:
         return (f"WavConnection({self.driver.name}->{self.peer_name}, "

@@ -35,6 +35,7 @@ from repro.overlay.rendezvous import RENDEZVOUS_PORT, _ConnectBody, _PunchNotice
 from repro.overlay.resources import ConnectionInfo, ResourceRecord
 from repro.overlay.rpc import RpcEndpoint, RpcError, RpcTimeout
 from repro.sim.engine import Event, Interrupt
+from repro.sim.lifecycle import Component
 from repro.stun.client import StunClient
 from repro.stun.messages import StunResponse
 
@@ -43,8 +44,23 @@ __all__ = ["WavnetDriver", "WAV_PORT"]
 WAV_PORT = 8777
 
 
-class WavnetDriver:
-    """WAVNet on one host."""
+class WavnetDriver(Component):
+    """WAVNet on one host.
+
+    As a lifecycle :class:`~repro.sim.lifecycle.Component` (kind
+    ``driver``): ``stop``/``crash`` close every tunnel, halt the
+    keepalive/receive loops, close the socket and take the tap down;
+    ``restore`` rebinds, brings the tap back up and re-runs
+    :meth:`start` (STUN, registration, keepalive) from scratch — peers
+    notice the death through CONNECT_PULSE silence and their repair
+    supervision re-punches to us.
+
+    The driver also *self-heals*: connections that die of keepalive
+    silence are re-punched with exponential backoff plus jitter,
+    relayed connections periodically attempt a relay->direct upgrade,
+    and registration fails over to a backup rendezvous server when the
+    primary stops answering keepalives.
+    """
 
     def __init__(
         self,
@@ -60,19 +76,38 @@ class WavnetDriver:
         keepalive_interval: float = 20.0,
         attrs: Optional[dict] = None,
         name: Optional[str] = None,
+        backup_rendezvous_ips: Optional[list] = None,
+        auto_repair: bool = True,
+        repair_backoff_base: float = 1.0,
+        repair_backoff_cap: float = 30.0,
+        repair_jitter: float = 0.3,
+        upgrade_interval: float = 30.0,
     ) -> None:
         self.host = host
         self.sim = host.sim
         self.name = name or host.name
+        Component.__init__(self, host.sim, "driver", self.name)
         self.virtual_ip = IPv4Address(virtual_ip)
         self.virtual_network = (IPv4Network(virtual_network)
                                 if isinstance(virtual_network, str) else virtual_network)
         self.rendezvous_ip = IPv4Address(rendezvous_ip) if rendezvous_ip else None
         self.rendezvous_port = rendezvous_port
+        self.rendezvous_candidates: list[IPv4Address] = []
+        if self.rendezvous_ip is not None:
+            self.rendezvous_candidates.append(self.rendezvous_ip)
+        for ip in backup_rendezvous_ips or []:
+            ip = IPv4Address(ip)
+            if ip not in self.rendezvous_candidates:
+                self.rendezvous_candidates.append(ip)
         self.stun_server_ip = IPv4Address(stun_server_ip) if stun_server_ip else None
         self.pulse_interval = pulse_interval
         self.punch_timeout = punch_timeout
         self.keepalive_interval = keepalive_interval
+        self.auto_repair = auto_repair
+        self.repair_backoff_base = repair_backoff_base
+        self.repair_backoff_cap = repair_backoff_cap
+        self.repair_jitter = repair_jitter
+        self.upgrade_interval = upgrade_interval
         self.attrs = dict(attrs or {"cpu_ghz": 2.0, "mem_mb": 2048.0})
 
         # --- data-plane plumbing (Fig 2 / Fig 5) ---
@@ -105,10 +140,21 @@ class WavnetDriver:
         self._m_relay_rx = m.counter("relay.rx")
         self._m_established = m.counter("connect.established")
         self._m_relayed = m.counter("connect.relayed")
+        self._m_upgraded = m.counter("connect.upgraded")
         self._m_punch_failed = m.counter("connect.punch_failed")
         self._m_punch_seconds = m.histogram("connect.punch_seconds")
+        # --- recovery observability ---
+        self._m_conn_lost = m.counter("repair.lost")
+        self._m_repair_attempts = m.counter("repair.attempts")
+        self._m_repair_success = m.counter("repair.success")
+        self._m_repair_seconds = m.histogram("repair.seconds")
+        self._m_endpoint_moves = m.counter("repair.endpoint_moves")
+        self._m_rvz_failovers = m.counter("rvz.failovers")
+        self._m_rvz_failover_seconds = m.histogram("rvz.failover_seconds")
+        self._m_dropped_outage = m.counter("frames.dropped_outage")
 
         # --- control plane ---
+        self._wav_port = wav_port
         self.sock = host.udp.bind(wav_port)
         self.rpc = RpcEndpoint(host.stack, self.sock, name=f"wav:{self.name}", own_loop=False)
         self.rpc.register("wav.punch", self._on_punch_notice)
@@ -117,11 +163,25 @@ class WavnetDriver:
         self.nat_type: Optional[NatType] = None
         self.public_endpoint: Optional[tuple[IPv4Address, int]] = None
         self.started = Event(self.sim)
-        self.stopped = False
         from repro.sim.queues import Store
         self._stun_inbox = Store(self.sim)
+        self._stun_client: Optional[StunClient] = None
         self._rx_proc = self.sim.process(self._rx_loop(), name=f"wav-rx:{self.name}")
         self._keepalive_proc = None
+        self._upgrade_proc = None
+        # --- repair supervision (self-healing) ---
+        self._repair_rng = self.sim.rng.stream(f"driver.repair.{self.name}")
+        self._repairing: dict[str, object] = {}  # peer -> repair Process
+        self._outage_start: dict[str, float] = {}
+        # Peers whose tunnel ran relayed: repair may fall back to relay
+        # for these; for direct-capable peers a punch timeout means the
+        # peer is still gone (relaying would fake a live tunnel).
+        self._relay_peers: set[str] = set()
+
+    @property
+    def stopped(self) -> bool:
+        """Backward-compatible view of the lifecycle state."""
+        return not self.running
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -131,6 +191,7 @@ class WavnetDriver:
         if self.stun_server_ip is not None:
             stun = StunClient(self.host.stack, self.sock, self.stun_server_ip,
                               inbox=self._stun_inbox)
+            self._stun_client = stun
             probe = yield from stun.classify()
             self.nat_type = probe.nat_type
             if probe.mapped_ip is not None:
@@ -140,15 +201,32 @@ class WavnetDriver:
         if self.public_endpoint is None:
             self.public_endpoint = (self.host.stack.ips[0], self.sock.port)
         if self.rendezvous_ip is not None:
-            yield from self.rpc.call(
-                self.rendezvous_ip, self.rendezvous_port, "rvz.register",
-                _RegisterBody(self.name, self.connection_info(), dict(self.attrs)),
-                timeout=5.0)
+            yield from self._register_somewhere()
             self._keepalive_proc = self.sim.process(
                 self._rendezvous_keepalive(), name=f"wav-ka:{self.name}")
+            if self.upgrade_interval > 0:
+                self._upgrade_proc = self.sim.process(
+                    self._upgrade_loop(), name=f"wav-upgrade:{self.name}")
         if not self.started.triggered:
             self.started.succeed(self)
         return self
+
+    def _register_somewhere(self):
+        """Process: register with the first answering rendezvous
+        candidate (primary first, then backups)."""
+        last_exc: Optional[Exception] = None
+        for ip in self.rendezvous_candidates:
+            self.rendezvous_ip = ip  # connection_info() embeds it
+            try:
+                yield from self.rpc.call(
+                    ip, self.rendezvous_port, "rvz.register",
+                    _RegisterBody(self.name, self.connection_info(), dict(self.attrs)),
+                    timeout=5.0)
+                return True
+            except (RpcTimeout, RpcError) as exc:
+                last_exc = exc
+        self.rendezvous_ip = self.rendezvous_candidates[0]
+        raise last_exc
 
     def connection_info(self) -> ConnectionInfo:
         pub_ip, pub_port = self.public_endpoint
@@ -163,6 +241,7 @@ class WavnetDriver:
         )
 
     def _rendezvous_keepalive(self):
+        failures = 0
         try:
             while True:
                 yield self.sim.timeout(self.keepalive_interval)
@@ -170,27 +249,111 @@ class WavnetDriver:
                     yield from self.rpc.call(
                         self.rendezvous_ip, self.rendezvous_port, "rvz.keepalive",
                         (self.name, dict(self.attrs)), timeout=5.0, retries=2)
+                    failures = 0
                 except (RpcTimeout, RpcError):
-                    pass  # rendezvous unreachable; keep trying
+                    failures += 1
+                    if failures >= 2 and len(self.rendezvous_candidates) > 1:
+                        ok = yield from self._failover()
+                        if ok:
+                            failures = 0
         except Interrupt:
             return
 
-    def stop(self) -> None:
-        """Shut the driver down: close tunnels, stop keepalives and the
-        receive loop, and take the tap down (host crash / driver exit).
-        Safe to call more than once — the second call is a no-op."""
-        if self.stopped:
+    def _failover(self):
+        """Process: the current rendezvous went silent — re-register with
+        a surviving candidate. Returns True on success."""
+        t0 = self.sim.now
+        old = self.rendezvous_ip
+        others = [ip for ip in self.rendezvous_candidates if ip != old] or [old]
+        for ip in others:
+            self.rendezvous_ip = ip
+            try:
+                yield from self.rpc.call(
+                    ip, self.rendezvous_port, "rvz.register",
+                    _RegisterBody(self.name, self.connection_info(), dict(self.attrs)),
+                    timeout=5.0, retries=2)
+            except (RpcTimeout, RpcError):
+                continue
+            self._m_rvz_failovers.add()
+            self._m_rvz_failover_seconds.observe(self.sim.now - t0)
+            self.sim.trace.event("rvz.failover", host=self.name,
+                                 old=str(old), new=str(ip),
+                                 seconds=round(self.sim.now - t0, 6))
+            return True
+        self.rendezvous_ip = old
+        return False
+
+    def _refresh_endpoint(self):
+        """Process: re-discover this socket's public NAT mapping — it
+        moves when the NAT reboots or the binding expires — and if it
+        did, re-register so peers punch toward the fresh endpoint."""
+        if self._stun_client is None or not self.running:
+            return False
+        mapped = yield from self._stun_client.discover_endpoint()
+        if mapped is None or mapped == self.public_endpoint:
+            return False
+        old = self.public_endpoint
+        self.public_endpoint = mapped
+        self._m_endpoint_moves.add()
+        self.sim.trace.event("endpoint.moved", host=self.name,
+                             old=f"{old[0]}:{old[1]}",
+                             new=f"{mapped[0]}:{mapped[1]}")
+        if self.rendezvous_ip is not None:
+            try:
+                yield from self.rpc.call(
+                    self.rendezvous_ip, self.rendezvous_port, "rvz.register",
+                    _RegisterBody(self.name, self.connection_info(),
+                                  dict(self.attrs)),
+                    timeout=5.0)
+            except (RpcTimeout, RpcError):
+                pass
+        return True
+
+    def _upgrade_loop(self):
+        """Process: periodically re-punch relayed connections, hoping to
+        upgrade them to a direct path (NAT state changes over time)."""
+        try:
+            while True:
+                yield self.sim.timeout(self.upgrade_interval)
+                for conn in list(self.connections.values()):
+                    if conn.usable and conn.relayed and conn.peer_conn is not None:
+                        conn.start_punching()
+        except Interrupt:
             return
-        self.stopped = True
+
+    # -- lifecycle hooks (Component) -----------------------------------
+    def _on_stop(self) -> None:
         self.sim.trace.event("driver.stop", host=self.name,
                              connections=len(self.connections))
         for conn in list(self.connections.values()):
             conn.close()
-        if self._keepalive_proc is not None and self._keepalive_proc.is_alive:
-            self._keepalive_proc.interrupt("stopped")
-        if self._rx_proc is not None and self._rx_proc.is_alive:
-            self._rx_proc.interrupt("stopped")
+        self._cancel_repairs()
+        for proc in (self._keepalive_proc, self._upgrade_proc, self._rx_proc):
+            if proc is not None and proc.is_alive:
+                proc.interrupt("stopped")
+                proc.defuse()
+        self._keepalive_proc = self._upgrade_proc = self._rx_proc = None
+        self._stun_client = None  # bound to the socket we are closing
+        self.sock.close()
+        self.connections.clear()
+        self._by_endpoint.clear()
         self.tap.up = False
+
+    def _on_restore(self) -> None:
+        self.sock = self.host.udp.bind(self._wav_port)
+        self.rpc.rebind(self.sock)  # own_loop=False: just reattach
+        self._rx_proc = self.sim.process(self._rx_loop(), name=f"wav-rx:{self.name}")
+        self.tap.up = True
+        self.started = Event(self.sim)
+        self.sim.process(self.start(), name=f"wav-restart:{self.name}")
+
+    def _cancel_repairs(self) -> None:
+        for proc in list(self._repairing.values()):
+            if proc.is_alive:
+                proc.interrupt("stopped")
+                proc.defuse()
+        self._repairing.clear()
+        self._outage_start.clear()
 
     # ------------------------------------------------------------------
     # Resource discovery and connection setup (Fig 3)
@@ -234,12 +397,12 @@ class WavnetDriver:
             result = conn
         return result
 
-    def connect_by_name(self, peer_name: str, **attrs):
+    def connect_by_name(self, peer_name: str, allow_relay: bool = True, **attrs):
         """Process: query then connect to the named peer."""
         records = yield from self.query_resources(limit=64, **attrs)
         for record in records:
             if record.host_name == peer_name:
-                conn = yield from self.connect(record)
+                conn = yield from self.connect(record, allow_relay=allow_relay)
                 return conn
         raise RpcError(f"host {peer_name!r} not found in resource directory")
 
@@ -269,8 +432,14 @@ class WavnetDriver:
 
     def _on_captured_frame(self, frame: EthernetFrame) -> None:
         """Frame left the bridge through the tap: tunnel it."""
+        sent = False
         for conn in self.switch.select(frame, self.connections.values()):
             conn.send(self.assembler.encapsulate(frame))
+            sent = True
+        if not sent:
+            # No usable tunnel toward this destination — a frame lost
+            # during an outage (or before the first connect).
+            self._m_dropped_outage.add()
 
     def _send_raw(self, endpoint: tuple[IPv4Address, int], payload: Payload) -> None:
         self.sock.sendto(endpoint[0], endpoint[1], payload)
@@ -330,15 +499,75 @@ class WavnetDriver:
 
     # -- connection table callbacks -------------------------------------------
     def _connection_established(self, conn: WavConnection) -> None:
-        if not conn.relayed:  # relayed conns demux by sender name instead
+        if conn.relayed:  # relayed conns demux by sender name instead
+            self._relay_peers.add(conn.peer_name)
+        else:
+            self._relay_peers.discard(conn.peer_name)
             self._by_endpoint[conn.remote] = conn
 
-    def _connection_dead(self, conn: WavConnection) -> None:
+    def _connection_dead(self, conn: WavConnection, reason: str = "closed") -> None:
         self.switch.forget_connection(conn)
         if conn.remote is not None and self._by_endpoint.get(conn.remote) is conn:
             del self._by_endpoint[conn.remote]
         if self.connections.get(conn.peer_name) is conn:
             del self.connections[conn.peer_name]
+        if reason == "liveness":
+            # Keepalive silence: the peer (or the path) died under us.
+            # Punch-timeout deaths are handled by connect()'s relay
+            # fallback, and closed means we meant it — only liveness
+            # deaths get repair supervision.
+            self._m_conn_lost.add()
+            self.sim.trace.event("conn.lost", host=self.name,
+                                 peer=conn.peer_name, reason=reason)
+            if self.auto_repair and self.running and self.rendezvous_ip is not None:
+                self._schedule_repair(conn.peer_name)
+
+    # -- repair supervision (self-healing) ------------------------------
+    def _schedule_repair(self, peer_name: str) -> None:
+        if peer_name in self._repairing:
+            return
+        self._outage_start.setdefault(peer_name, self.sim.now)
+        self._repairing[peer_name] = self.sim.process(
+            self._repair(peer_name), name=f"wav-repair:{self.name}->{peer_name}")
+
+    def _repair(self, peer_name: str):
+        """Process: re-punch a lost connection with exponential backoff
+        plus deterministic jitter (own RNG stream, so repair randomness
+        never perturbs other draws)."""
+        attempts = 0
+        try:
+            while self.running:
+                delay = min(self.repair_backoff_cap,
+                            self.repair_backoff_base * (2.0 ** attempts))
+                delay *= 1.0 + self.repair_jitter * float(self._repair_rng.random())
+                yield self.sim.timeout(delay)
+                if not self.running:
+                    return
+                conn = self.connections.get(peer_name)
+                if conn is None or not conn.usable:
+                    attempts += 1
+                    self._m_repair_attempts.add()
+                    try:
+                        yield from self.connect_by_name(
+                            peer_name, allow_relay=peer_name in self._relay_peers)
+                    except (RpcTimeout, RpcError, TimeoutError):
+                        # The punch may have failed because our own NAT
+                        # mapping moved (reboot, expiry): peers were
+                        # aiming at a dead endpoint. Re-discover and
+                        # re-register before the next attempt.
+                        yield from self._refresh_endpoint()
+                        continue  # back off further and retry
+                outage = self.sim.now - self._outage_start.pop(peer_name, self.sim.now)
+                self._m_repair_success.add()
+                self._m_repair_seconds.observe(outage)
+                self.sim.trace.event("conn.repaired", host=self.name,
+                                     peer=peer_name, attempts=attempts,
+                                     seconds=round(outage, 6))
+                return
+        except Interrupt:
+            return
+        finally:
+            self._repairing.pop(peer_name, None)
 
     # -- distance reporting (feeds the grouping strategy) ---------------------
     def report_latencies(self, rtts: dict[str, float]):

@@ -1,0 +1,20 @@
+"""repro.faults — deterministic fault injection plane.
+
+Failure modes in WAVNet experiments (host churn, link flaps, loss
+bursts, WAN partitions, NAT reboots, rendezvous death) are expressed as
+fault *injections* against lifecycle components and network elements:
+
+* :class:`FaultInjector` — the primitive verbs. Every injection emits a
+  ``fault`` trace event and bumps a ``faults.injected.<kind>`` counter,
+  so recovery analysis can line injections up against repairs.
+* :class:`FaultPlan` — a declarative, deterministic schedule of
+  injections. Scripted entries via :meth:`FaultPlan.at`; randomized
+  churn via :meth:`FaultPlan.random_churn`, drawn from a named RNG
+  stream of the simulator seed so two runs of the same plan inject the
+  identical fault sequence.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultPlan"]

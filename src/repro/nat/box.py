@@ -28,12 +28,22 @@ from repro.net.packet import (
 )
 from repro.net.stack import Interface, Router
 from repro.sim.engine import Simulator
+from repro.sim.lifecycle import Component
 
 __all__ = ["NatBox"]
 
 
-class NatBox(Router):
-    """NAT/firewall gateway between an inside LAN and the public Internet."""
+class NatBox(Router, Component):
+    """NAT/firewall gateway between an inside LAN and the public Internet.
+
+    As a lifecycle :class:`~repro.sim.lifecycle.Component` (kind
+    ``nat``): ``crash`` powers the box off — every mapping table is
+    flushed (bindings are RAM) and all traffic is dropped; ``restore``
+    powers it back on with empty tables, so hosts behind it must re-open
+    their mappings with outbound traffic. :meth:`reboot` is the common
+    fast cycle (crash + immediate restore): connectivity blips, but the
+    lasting damage is the mapping flush.
+    """
 
     def __init__(
         self,
@@ -46,15 +56,19 @@ class NatBox(Router):
         icmp_timeout: float = 30.0,
     ) -> None:
         super().__init__(sim, name, mac_mint)
+        Component.__init__(self, sim, "nat", name)
         self.nat_type = NatType.parse(nat_type)
         if self.nat_type is NatType.OPEN:
             raise ValueError("NatBox cannot model an OPEN (no-NAT) path")
         port_rng = sim.rng.stream(f"nat.ports.{name}")
-        self.udp_mappings = MappingTable(self.nat_type, udp_timeout, port_rng=port_rng)
+        metrics = sim.metrics.scope(f"nat.{name}")
+        self.metrics = metrics
+        self.udp_mappings = MappingTable(self.nat_type, udp_timeout, port_rng=port_rng,
+                                         metrics=metrics.scope("udp"))
         self.tcp_mappings = MappingTable(self.nat_type, tcp_timeout, first_port=30000,
-                                         port_rng=port_rng)
+                                         port_rng=port_rng, metrics=metrics.scope("tcp"))
         self.icmp_mappings = MappingTable(self.nat_type, icmp_timeout, first_port=40000,
-                                          port_rng=port_rng)
+                                          port_rng=port_rng, metrics=metrics.scope("icmp"))
         self.inside: Optional[Interface] = None
         self.outside: Optional[Interface] = None
         self.inside_network: Optional[IPv4Network] = None
@@ -64,6 +78,20 @@ class NatBox(Router):
         self.dropped_unsolicited = 0
         self.stack.pre_routing = self._pre_routing
         self.stack.post_routing = self._post_routing
+
+    # -- lifecycle ---------------------------------------------------------
+    def _on_crash(self) -> None:
+        for table in (self.udp_mappings, self.tcp_mappings, self.icmp_mappings):
+            table.flush()
+
+    def _on_stop(self) -> None:
+        pass  # graceful stop keeps tables; traffic still drops while down
+
+    def reboot(self) -> None:
+        """Power-cycle: flush all mapping tables, forwarding resumes at
+        once (the blackout window is below frame resolution)."""
+        self.crash()
+        self.restore()
 
     # -- setup -------------------------------------------------------------
     def add_inside(self, ip: IPv4Address | str, network: IPv4Network | str) -> Interface:
@@ -92,6 +120,8 @@ class NatBox(Router):
     # -- datapath hooks ------------------------------------------------------
     def _pre_routing(self, packet: IPv4Packet, iface: Interface) -> Optional[IPv4Packet]:
         """Inbound DNAT: rewrite public (ip, port) back to the inside host."""
+        if not self.running:
+            return None  # box is down/crashed: everything blackholes
         if iface is not self.outside or packet.dst != self.public_ip:
             return packet
         table = self._table_for(packet.proto)
@@ -132,6 +162,8 @@ class NatBox(Router):
 
     def _post_routing(self, packet: IPv4Packet, iface: Interface) -> Optional[IPv4Packet]:
         """Outbound SNAT: rewrite inside (ip, port) to the public endpoint."""
+        if not self.running:
+            return None
         if iface is not self.outside:
             return packet
         if self.inside_network is None or packet.src not in self.inside_network:

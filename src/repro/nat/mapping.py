@@ -69,7 +69,7 @@ class MappingTable:
     """All bindings of one NAT box, with idle expiry and port allocation."""
 
     def __init__(self, nat_type: NatType, timeout: float, first_port: int = 20000,
-                 port_rng=None) -> None:
+                 port_rng=None, metrics=None) -> None:
         self.nat_type = nat_type
         self.timeout = timeout
         self._next_port = first_port
@@ -81,6 +81,16 @@ class MappingTable:
         # inbound lookup: external port -> mapping
         self._by_external: dict[int, NatMapping] = {}
         self.expired_count = 0
+        self.allocated_count = 0
+        # Optional MetricsScope (e.g. "nat.<box>.udp"): allocation/expiry
+        # counters plus a live-binding gauge, for keepalive ablations.
+        if metrics is not None:
+            self._m_allocated = metrics.counter("mappings.allocated")
+            self._m_expired = metrics.counter("mappings.expired")
+            self._m_flushed = metrics.counter("mappings.flushed")
+            self._m_bindings = metrics.gauge("bindings")
+        else:
+            self._m_allocated = self._m_expired = self._m_flushed = self._m_bindings = None
 
     def _internal_key(
         self, ip: IPv4Address, port: int, dst_ip: IPv4Address, dst_port: int
@@ -93,6 +103,8 @@ class MappingTable:
         if now - mapping.last_used > self.timeout:
             self._drop(mapping)
             self.expired_count += 1
+            if self._m_expired is not None:
+                self._m_expired.add()
             return True
         return False
 
@@ -101,6 +113,19 @@ class MappingTable:
         for key, m in list(self._by_internal.items()):
             if m is mapping:
                 del self._by_internal[key]
+        if self._m_bindings is not None:
+            self._m_bindings.set(len(self._by_external))
+
+    def flush(self) -> int:
+        """Drop every binding at once — what a NAT reboot does to the
+        hosts behind it. Returns the number of bindings lost."""
+        n = len(self._by_external)
+        self._by_internal.clear()
+        self._by_external.clear()
+        if self._m_flushed is not None:
+            self._m_flushed.add(n)
+            self._m_bindings.set(0)
+        return n
 
     def _alloc_port(self) -> int:
         if self._port_rng is not None:
@@ -134,6 +159,10 @@ class MappingTable:
                                  now)
             self._by_internal[key] = mapping
             self._by_external[mapping.external_port] = mapping
+            self.allocated_count += 1
+            if self._m_allocated is not None:
+                self._m_allocated.add()
+                self._m_bindings.set(len(self._by_external))
         mapping.note_outbound(dst_ip, dst_port, now)
         return mapping
 

@@ -23,6 +23,7 @@ from typing import Callable, Optional, Protocol
 from repro.net.addresses import MacAddress
 from repro.net.packet import EthernetFrame
 from repro.sim.engine import Simulator
+from repro.sim.lifecycle import Component
 from repro.sim.queues import Channel
 
 __all__ = ["Bridge", "Link", "Port", "Switch", "patch"]
@@ -126,13 +127,18 @@ class _Pipe:
         self._loss_rng = loss_rng
         self.name = name
         self.queue = Channel(sim, capacity=queue_capacity)
+        self.up = True  # admin state, mirrored from the owning Link
         self.bytes_sent = 0
         self.frames_sent = 0
         self.frames_lost = 0
+        self.frames_dropped_down = 0  # offered while admin-down
         self._tx_frame: Optional[EthernetFrame] = None  # frame in service
         self._finish_cb = self._finish_tx  # bind once, not per frame
 
     def send(self, frame: EthernetFrame) -> None:
+        if not self.up:
+            self.frames_dropped_down += 1
+            return
         if self._tx_frame is None and not self.queue.items:
             bw = self.bandwidth_bps
             if bw is None:
@@ -187,12 +193,17 @@ class _Delivery:
         self.port.deliver(self.frame)
 
 
-class Link:
+class Link(Component):
     """Full-duplex point-to-point link between two ports.
 
     ``bandwidth_bps=None`` means no serialization delay (used for the WAN
     cloud's internal pipes where the bottleneck is modeled at access
     links). ``loss`` is an i.i.d. per-frame drop probability.
+
+    A link is a lifecycle :class:`~repro.sim.lifecycle.Component`:
+    :meth:`admin_down` / :meth:`admin_up` (aliases of ``stop`` /
+    ``restore``) model ``ip link set down`` — new frames are dropped
+    and counted, frames already serialized or queued drain normally.
     """
 
     def __init__(
@@ -210,13 +221,29 @@ class Link:
             raise ValueError(f"negative latency {latency}")
         if not 0.0 <= loss < 1.0:
             raise ValueError(f"loss must be in [0,1), got {loss}")
-        self.sim = sim
         self.name = name
         rng = sim.rng.stream(f"link.loss.{name}")
         self.ab = _Pipe(sim, b, latency, bandwidth_bps, queue_capacity, loss, rng, f"{name}.ab")
         self.ba = _Pipe(sim, a, latency, bandwidth_bps, queue_capacity, loss, rng, f"{name}.ba")
         a.connect(self.ab.send)
         b.connect(self.ba.send)
+        super().__init__(sim, "link", name)
+
+    @property
+    def up(self) -> bool:
+        return self.ab.up
+
+    def admin_down(self) -> None:
+        self.stop()
+
+    def admin_up(self) -> None:
+        self.restore()
+
+    def _on_stop(self) -> None:
+        self.ab.up = self.ba.up = False
+
+    def _on_restore(self) -> None:
+        self.ab.up = self.ba.up = True
 
     def set_bandwidth(self, bandwidth_bps: Optional[float]) -> None:
         """``tc``-style reshaping of both directions."""
@@ -226,6 +253,18 @@ class Link:
     def set_latency(self, latency: float) -> None:
         self.ab.latency = latency
         self.ba.latency = latency
+
+    def set_loss(self, loss: float) -> None:
+        """Reconfigure the i.i.d. per-frame drop probability mid-run
+        (loss bursts); draws keep coming from the link's named stream."""
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0,1), got {loss}")
+        self.ab.loss = loss
+        self.ba.loss = loss
+
+    @property
+    def frames_dropped_down(self) -> int:
+        return self.ab.frames_dropped_down + self.ba.frames_dropped_down
 
     @property
     def total_bytes(self) -> int:

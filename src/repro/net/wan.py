@@ -36,6 +36,9 @@ class WanCloud:
         self._latency: dict[tuple[str, str], float] = {}
         self.mac_table: dict[MacAddress, str] = {}
         self.frames_carried = 0
+        # Inter-site partitions: ordered pairs whose frames are dropped.
+        self._partitioned: set[tuple[str, str]] = set()
+        self.frames_partitioned = 0
 
     # -- topology -----------------------------------------------------------
     def attach(self, site: str) -> Port:
@@ -68,6 +71,34 @@ class WanCloud:
             return 0.0
         return self._latency.get((a, b), self.default_latency)
 
+    # -- partitions (fault plane) ---------------------------------------
+    def partition(self, group_a, group_b) -> None:
+        """Drop all frames between sites in ``group_a`` and ``group_b``
+        (both directions) until :meth:`heal` — a WAN inter-site
+        partition. Sites not named keep full connectivity."""
+        for a in group_a:
+            for b in group_b:
+                if a != b:
+                    self._partitioned.add((a, b))
+                    self._partitioned.add((b, a))
+        self.sim.trace.event("fault.partition", cloud=self.name,
+                             a=sorted(group_a), b=sorted(group_b))
+
+    def heal(self, group_a=None, group_b=None) -> None:
+        """Remove a specific partition, or all of them when called with
+        no arguments."""
+        if group_a is None:
+            self._partitioned.clear()
+        else:
+            for a in group_a:
+                for b in group_b or ():
+                    self._partitioned.discard((a, b))
+                    self._partitioned.discard((b, a))
+        self.sim.trace.event("fault.heal", cloud=self.name)
+
+    def partitioned(self, a: str, b: str) -> bool:
+        return (a, b) in self._partitioned
+
     # -- datapath -------------------------------------------------------------
     def on_frame(self, frame: EthernetFrame, in_port: Port) -> None:
         src_site = self._port_names.get(in_port)
@@ -86,6 +117,9 @@ class WanCloud:
                 self._deliver(src_site, site, frame)
 
     def _deliver(self, src: str, dst: str, frame: EthernetFrame) -> None:
+        if self._partitioned and (src, dst) in self._partitioned:
+            self.frames_partitioned += 1
+            return
         port = self.ports.get(dst)
         if port is None:
             return

@@ -11,6 +11,22 @@ Protocol (all RPC over UDP between public rendezvous hosts):
 * ``can.leave``   — graceful departure: zone and records handed to the
   merge-compatible neighbor, or to the smallest neighbor as an extra
   zone (nodes may own several zones, as in the CAN paper's takeover).
+* ``can.ping``    — liveness probe used before declaring a silent
+  neighbor dead.
+* ``can.dead``    — gossip that a neighbor died ungracefully; receivers
+  drop it and the arbitration winner absorbs its zones (see below).
+* ``can.replica`` — owner pushes a copy of each stored record to its
+  neighbors, so an ungraceful death does not lose the records: the
+  takeover node promotes its replicas of the dead node's records.
+
+**Ungraceful takeover.** A neighbor that misses three announcement
+intervals is probed (``can.ping``); on timeout it is declared dead and
+the death is gossiped. Every node that abutted the dead node computes
+the takeover owner locally — the abutting neighbor with the smallest
+``node_id`` — and only the owner absorbs the zones and promotes the
+replicas. Rendezvous overlays are small and near-clique, so every
+detector sees the same candidate set and the arbitration is
+deterministic; the graceful ``can.leave`` path is unchanged.
 
 Routing metric: forward to the neighbor whose zone-set is closest (torus
 distance) to the destination point, strictly decreasing; the owner
@@ -28,6 +44,7 @@ from repro.net.addresses import IPv4Address
 from repro.overlay.resources import ResourceRecord
 from repro.overlay.rpc import RpcEndpoint, RpcError, RpcTimeout
 from repro.overlay.space import Point, Zone
+from repro.sim.lifecycle import Component
 
 __all__ = ["CanNode", "NeighborInfo"]
 
@@ -73,8 +90,16 @@ class _RouteOp:
         return 24 + 8 * len(self.point) + (getattr(self.body, "size", 16) or 16)
 
 
-class CanNode:
-    """A CAN overlay node living on a public host."""
+class CanNode(Component):
+    """A CAN overlay node living on a public host.
+
+    As a lifecycle :class:`~repro.sim.lifecycle.Component` (kind
+    ``can``): stop/crash drop all volatile overlay state (zones,
+    records, replicas, neighbors) and close the socket; ``restore``
+    rebinds and rejoins through the cached peer addresses — the
+    surviving overlay sees the old incarnation die ungracefully and
+    takes over its zones, then admits the rejoiner as a fresh node.
+    """
 
     def __init__(self, host, dims: int = 2, port: int = CAN_PORT,
                  node_id: Optional[str] = None,
@@ -82,6 +107,7 @@ class CanNode:
         self.host = host
         self.sim = host.sim
         self.node_id = node_id or host.name
+        Component.__init__(self, host.sim, "can", self.node_id)
         self.dims = dims
         self.port = port
         self.ip: IPv4Address = host.stack.ips[0]
@@ -92,11 +118,57 @@ class CanNode:
         self.record_ttl = record_ttl
         self.joined = False
         self.routed_ops = 0
+        # Replicas of records owned by other nodes, keyed by owner id —
+        # promoted into ``records`` if that owner dies ungracefully.
+        self.replicas: dict[str, dict[str, ResourceRecord]] = {}
+        # Peer addresses learned over time; survives a crash the way an
+        # on-disk peer cache would, so a restored node can rejoin.
+        self._known_peers: dict[str, tuple[IPv4Address, int]] = {}
+        self.metrics = self.sim.metrics.scope(f"{self.node_id}.can")
+        self._m_takeovers = self.metrics.counter("takeovers")
+        self._m_deaths = self.metrics.counter("deaths_detected")
+        self._m_replicas = self.metrics.counter("replicas.stored")
         self.rpc = RpcEndpoint(host.stack, host.udp.bind(port), name=f"can:{self.node_id}")
         self.rpc.register("can.route", self._on_route)
         self.rpc.register("can.nbr", self._on_neighbor)
         self.rpc.register("can.leave", self._on_leave)
+        self.rpc.register("can.ping", self._on_ping)
+        self.rpc.register("can.dead", self._on_dead)
+        self.rpc.register("can.replica", self._on_replica)
         self._pinger = None
+        self._probing: set[str] = set()
+
+    # -- lifecycle ------------------------------------------------------
+    def _on_stop(self) -> None:
+        # No graceful handover here (that is :meth:`leave`, a protocol
+        # action); a stopped node just goes dark and rejoins fresh.
+        if self._pinger is not None and self._pinger.is_alive:
+            self._pinger.interrupt("stopped")
+        self._pinger = None
+        self.rpc.shutdown()
+        self.joined = False
+        self.zones = []
+        self.records.clear()
+        self.replicas.clear()
+        self.neighbors.clear()
+        self._probing.clear()
+
+    def _on_restore(self) -> None:
+        self.rpc.rebind(self.host.udp.bind(self.port))
+        self.sim.process(self._rejoin(), name=f"can-rejoin:{self.node_id}")
+
+    def _rejoin(self):
+        """Process: rejoin through any cached peer; fall back to
+        bootstrapping a fresh overlay if nobody answers."""
+        for node_id, (ip, port) in sorted(self._known_peers.items()):
+            if node_id == self.node_id:
+                continue
+            try:
+                yield from self.join_via(ip, port)
+                return
+            except (RpcTimeout, RpcError):
+                continue
+        self.bootstrap()
 
     # -- membership -----------------------------------------------------
     def bootstrap(self) -> None:
@@ -119,6 +191,7 @@ class CanNode:
         for info in grant.neighbors:
             if info.node_id != self.node_id:
                 self.neighbors[info.node_id] = info
+                self._known_peers[info.node_id] = (info.ip, info.port)
         self.joined = True
         self._announce_to_neighbors()
         self._prune_non_neighbors()
@@ -195,7 +268,7 @@ class CanNode:
                 yield self.sim.timeout(self.ping_interval)
                 self._announce_to_neighbors()
                 self._expire_records()
-                self._expire_neighbors()
+                self._check_neighbors()
         except Interrupt:
             return
 
@@ -203,12 +276,91 @@ class CanNode:
         now = self.sim.now
         for name in [n for n, r in self.records.items() if r.expired(now)]:
             del self.records[name]
+        for owner, reps in self.replicas.items():
+            for name in [n for n, r in reps.items() if r.expired(now)]:
+                del reps[name]
 
-    def _expire_neighbors(self) -> None:
+    def _check_neighbors(self) -> None:
+        """Probe neighbors that have gone silent instead of silently
+        forgetting them: a probe timeout means an ungraceful death and
+        triggers the takeover protocol."""
         horizon = self.sim.now - 3 * self.ping_interval - 1e-9
         for node_id in list(self.neighbors):
-            if 0 < self.neighbors[node_id].last_seen < horizon:
-                del self.neighbors[node_id]
+            info = self.neighbors[node_id]
+            if 0 < info.last_seen < horizon and node_id not in self._probing:
+                self._probing.add(node_id)
+                self.sim.process(self._probe_neighbor(info),
+                                 name=f"can-probe:{self.node_id}->{node_id}")
+
+    def _probe_neighbor(self, info: NeighborInfo):
+        try:
+            fresh = yield from self.rpc.call(info.ip, info.port, "can.ping",
+                                            self.node_id, timeout=2.0, retries=2)
+        except (RpcTimeout, RpcError):
+            self._declare_dead(info)
+        else:
+            # Alive: the pong carries its current zones, so apply the
+            # same refresh-or-drop rule as a ``can.nbr`` announcement
+            # (a live peer whose zones no longer abut ours is simply
+            # forgotten, not declared dead).
+            fresh.last_seen = self.sim.now
+            if self._is_neighbor(fresh):
+                self.neighbors[fresh.node_id] = fresh
+            else:
+                self.neighbors.pop(fresh.node_id, None)
+        finally:
+            self._probing.discard(info.node_id)
+
+    # -- ungraceful death and takeover -------------------------------------
+    def _declare_dead(self, dead: NeighborInfo) -> None:
+        """A neighbor died without ``can.leave``: drop it, gossip the
+        death, and absorb its zones iff we win the local arbitration."""
+        if self.neighbors.pop(dead.node_id, None) is None:
+            return  # already handled (gossip raced with our own probe)
+        self._m_deaths.add()
+        self.sim.trace.event("can.dead", node=self.node_id, dead=dead.node_id)
+        for info in self.neighbors.values():
+            self.rpc.notify(info.ip, info.port, "can.dead", dead)
+        if self._takeover_owner(dead) == self.node_id:
+            self._takeover(dead)
+
+    def _takeover_owner(self, dead: NeighborInfo) -> Optional[str]:
+        """The abutting neighbor with the smallest node_id takes over.
+        Each detector computes this from its own neighbor set; rendezvous
+        overlays are small and near-clique, so all detectors agree."""
+        def abuts(zones) -> bool:
+            return any(z.is_neighbor(dz) for z in zones for dz in dead.zones)
+
+        candidates = [nid for nid, info in self.neighbors.items() if abuts(info.zones)]
+        if abuts(self.zones):
+            candidates.append(self.node_id)
+        return min(candidates) if candidates else None
+
+    def _takeover(self, dead: NeighborInfo) -> None:
+        """Absorb the dead node's zones and promote our replicas of its
+        records — the CAN paper's TAKEOVER, previously implemented only
+        for graceful ``can.leave``."""
+        self._m_takeovers.add()
+        self._absorb_zones(dead.zones)
+        promoted = self.replicas.pop(dead.node_id, {})
+        refresh = self.sim.now + self.record_ttl
+        for record in promoted.values():
+            self.records[record.host_name] = record.refreshed(refresh)
+        self.sim.trace.event("can.takeover", node=self.node_id, dead=dead.node_id,
+                             zones=len(dead.zones), records=len(promoted))
+        self._announce_to_neighbors()
+        self._prune_non_neighbors()
+
+    def _absorb_zones(self, zones) -> None:
+        for zone in zones:
+            merged = False
+            for i, mine in enumerate(self.zones):
+                if mine.can_merge(zone):
+                    self.zones[i] = mine.merge(zone)
+                    merged = True
+                    break
+            if not merged:
+                self.zones.append(zone)
 
     # -- routing --------------------------------------------------------------
     def route(self, op: str, point: Point, body: Any, timeout: float = 5.0):
@@ -257,7 +409,9 @@ class CanNode:
     def _execute(self, op: _RouteOp):
         if op.op == "put":
             record: ResourceRecord = op.body
-            self.records[record.host_name] = record.refreshed(self.sim.now + self.record_ttl)
+            stored = record.refreshed(self.sim.now + self.record_ttl)
+            self.records[record.host_name] = stored
+            self._replicate(stored)
             return ("stored", self.node_id)
         if op.op == "remove":
             self.records.pop(op.body, None)
@@ -288,6 +442,7 @@ class CanNode:
             del self.records[record.host_name]
         joiner_info = NeighborInfo(joiner.node_id, joiner.ip, joiner.port,
                                    zones=[granted], last_seen=self.sim.now)
+        self._known_peers[joiner.node_id] = (joiner.ip, joiner.port)
         # Neighbor set for the joiner: us + any of our neighbors abutting it.
         grant_neighbors = [self._my_info()]
         for info in self.neighbors.values():
@@ -303,6 +458,7 @@ class CanNode:
         if info.node_id == self.node_id:
             return None
         info.last_seen = self.sim.now
+        self._known_peers[info.node_id] = (info.ip, info.port)
         if self._is_neighbor(info):
             self.neighbors[info.node_id] = info
         else:
@@ -311,20 +467,37 @@ class CanNode:
 
     def _on_leave(self, payload: "_LeavePayload", _src_ip, _src_port):
         # Absorb zones (merging into boxes where possible) and records.
-        for zone in payload.zones:
-            merged = False
-            for i, mine in enumerate(self.zones):
-                if mine.can_merge(zone):
-                    self.zones[i] = mine.merge(zone)
-                    merged = True
-                    break
-            if not merged:
-                self.zones.append(zone)
+        self._absorb_zones(payload.zones)
         for record in payload.records:
             self.records[record.host_name] = record
         self.neighbors.pop(payload.leaver.node_id, None)
+        self.replicas.pop(payload.leaver.node_id, None)
         self._announce_to_neighbors()
         return ("absorbed", self.node_id)
+
+    def _on_ping(self, peer_id: str, _src_ip, _src_port) -> NeighborInfo:
+        info = self.neighbors.get(peer_id)
+        if info is not None:
+            info.last_seen = self.sim.now
+        return self._my_info()
+
+    def _on_dead(self, dead: NeighborInfo, _src_ip, _src_port):
+        self._declare_dead(dead)
+        return None
+
+    def _on_replica(self, payload: tuple, _src_ip, _src_port):
+        owner_id, record = payload
+        self.replicas.setdefault(owner_id, {})[record.host_name] = record
+        self._m_replicas.add()
+        return None
+
+    def _replicate(self, record: ResourceRecord) -> None:
+        """Push a copy of a freshly stored record to every neighbor, so
+        an ungraceful death does not lose it (overlays are small, so
+        full-neighbor replication is cheap)."""
+        payload = (self.node_id, record)
+        for info in self.neighbors.values():
+            self.rpc.notify(info.ip, info.port, "can.replica", payload)
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,7 @@ from repro.overlay.can import CAN_PORT, CanNode
 from repro.overlay.resources import ConnectionInfo, ResourceRecord, ResourceSpec
 from repro.overlay.rpc import RpcEndpoint, RpcError
 from repro.sim.engine import Simulator
+from repro.sim.lifecycle import Component
 
 __all__ = ["RegisteredHost", "RendezvousServer", "RENDEZVOUS_PORT"]
 
@@ -87,14 +88,24 @@ class _PunchNotice:
         return 48
 
 
-class RendezvousServer:
-    """One rendezvous server (public host) with its CAN node."""
+class RendezvousServer(Component):
+    """One rendezvous server (public host) with its CAN node.
+
+    As a lifecycle :class:`~repro.sim.lifecycle.Component` (kind
+    ``rendezvous``): ``crash`` kills the process — host registry and
+    latency reports are lost, both sockets close, and the embedded CAN
+    node crashes with it; ``restore`` rebinds, restarts the receive
+    loop, and rejoins the CAN overlay through cached peer addresses.
+    Hosts re-appear in the registry only when their keepalives (or a
+    driver failover re-registration) arrive.
+    """
 
     def __init__(self, host, spec: Optional[ResourceSpec] = None,
                  can_dims: int = 2, port: int = RENDEZVOUS_PORT,
                  can_port: int = CAN_PORT, host_ttl: float = HOST_TTL) -> None:
         self.host = host
         self.sim: Simulator = host.sim
+        Component.__init__(self, host.sim, "rendezvous", host.name)
         self.spec = spec or ResourceSpec()
         self.port = port
         self.host_ttl = host_ttl
@@ -111,10 +122,11 @@ class RendezvousServer:
         self._m_brokered = self.metrics.counter("connects.brokered")
         self._m_relay_frames = self.metrics.counter("relay.frames")
         self._m_relay_bytes = self.metrics.counter("relay.bytes")
-        sock = host.udp.bind(port)
-        self.rpc = RpcEndpoint(host.stack, sock, name=f"rvz:{host.name}",
+        self._sock = host.udp.bind(port)
+        self.rpc = RpcEndpoint(host.stack, self._sock, name=f"rvz:{host.name}",
                                own_loop=False)
-        self.sim.process(self._rx_loop(sock), name=f"rvz-rx:{host.name}")
+        self._rx_proc = self.sim.process(self._rx_loop(self._sock),
+                                         name=f"rvz-rx:{host.name}")
         self.rpc.register("rvz.register", self._on_register)
         self.rpc.register("rvz.keepalive", self._on_keepalive)
         self.rpc.register("rvz.query", self._on_query)
@@ -128,20 +140,42 @@ class RendezvousServer:
         target host's registered endpoint."""
         from repro.core.assembler import WavRelay
         from repro.net.packet import Payload
+        from repro.sim.engine import Interrupt
 
-        while True:
-            payload, src_ip, src_port = yield sock.recvfrom()
-            body = payload.data
-            if isinstance(body, WavRelay):
-                reg = self.hosts.get(body.target)
-                if reg is not None:
-                    self.frames_relayed += 1
-                    self._m_relay_frames.add()
-                    self._m_relay_bytes.add(payload.size)
-                    sock.sendto(reg.reach_ip, reg.reach_port,
-                                Payload(payload.size, data=body, kind="wav"))
-                continue
-            self.rpc.handle_datagram(payload, src_ip, src_port)
+        try:
+            while True:
+                payload, src_ip, src_port = yield sock.recvfrom()
+                body = payload.data
+                if isinstance(body, WavRelay):
+                    reg = self.hosts.get(body.target)
+                    if reg is not None:
+                        self.frames_relayed += 1
+                        self._m_relay_frames.add()
+                        self._m_relay_bytes.add(payload.size)
+                        sock.sendto(reg.reach_ip, reg.reach_port,
+                                    Payload(payload.size, data=body, kind="wav"))
+                    continue
+                self.rpc.handle_datagram(payload, src_ip, src_port)
+        except Interrupt:
+            return
+
+    # -- lifecycle ------------------------------------------------------
+    def _on_stop(self) -> None:
+        if self._rx_proc is not None and self._rx_proc.is_alive:
+            self._rx_proc.interrupt("stopped")
+            self._rx_proc.defuse()
+        self._rx_proc = None
+        self._sock.close()
+        self.hosts.clear()
+        self.latency_reports.clear()
+        self.can.crash()
+
+    def _on_restore(self) -> None:
+        self._sock = self.host.udp.bind(self.port)
+        self.rpc.rebind(self._sock)
+        self._rx_proc = self.sim.process(self._rx_loop(self._sock),
+                                         name=f"rvz-rx:{self.host.name}")
+        self.can.restore()
 
     # -- overlay membership --------------------------------------------------
     def bootstrap(self) -> None:

@@ -73,9 +73,29 @@ class RpcEndpoint:
         self._m_retries = metrics.counter("retries")
         self._m_timeouts = metrics.counter("timeouts")
         self._m_served = metrics.counter("served")
+        self._own_loop = own_loop
         self._dispatcher = None
         if own_loop:
             self._dispatcher = stack.sim.process(self._dispatch_loop(), name=f"rpc:{name}")
+
+    # -- lifecycle --------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop reading the socket and close it (component crash/stop).
+        In-flight calls time out naturally; handlers stay registered so
+        :meth:`rebind` can bring the endpoint back."""
+        if self._dispatcher is not None and self._dispatcher.is_alive:
+            self._dispatcher.interrupt("shutdown")
+            self._dispatcher.defuse()
+            self._dispatcher = None
+        self.sock.close()
+
+    def rebind(self, sock: UdpSocket) -> None:
+        """Attach a fresh socket after :meth:`shutdown` (component
+        restore); restarts the dispatch loop if this endpoint owns one."""
+        self.sock = sock
+        if self._own_loop and (self._dispatcher is None or not self._dispatcher.is_alive):
+            self._dispatcher = self.stack.sim.process(
+                self._dispatch_loop(), name=f"rpc:{self.name}")
 
     # -- server side ------------------------------------------------------
     def register(self, kind: str, handler: Callable) -> None:
@@ -87,9 +107,13 @@ class RpcEndpoint:
         self.handlers[kind] = handler
 
     def _dispatch_loop(self):
-        while True:
-            payload, src_ip, src_port = yield self.sock.recvfrom()
-            self.handle_datagram(payload, src_ip, src_port)
+        from repro.sim.engine import Interrupt
+        try:
+            while True:
+                payload, src_ip, src_port = yield self.sock.recvfrom()
+                self.handle_datagram(payload, src_ip, src_port)
+        except Interrupt:
+            return
 
     def handle_datagram(self, payload: Payload, src_ip: IPv4Address, src_port: int) -> bool:
         """Process one datagram; returns False if it was not an RPC envelope."""
@@ -133,12 +157,16 @@ class RpcEndpoint:
 
     def _reply(self, env: _Envelope, dst_ip: IPv4Address, dst_port: int,
                body: Any, error: bool = False) -> None:
+        if self.sock.closed:
+            return  # endpoint shut down while the handler ran
         out = _Envelope(env.rpc_id, env.kind, body, is_reply=True, is_error=error)
         self.sock.sendto(dst_ip, dst_port,
                          Payload(ENVELOPE_OVERHEAD + _body_size(body), data=out, kind="rpc"))
 
     # -- client side ----------------------------------------------------------
     def notify(self, dst_ip: IPv4Address, dst_port: int, kind: str, body: Any) -> None:
+        if self.sock.closed:
+            return  # component crashed under us: fire-and-forget goes nowhere
         env = _Envelope(self._alloc_id(), kind, body, is_reply=False)
         self.sock.sendto(dst_ip, dst_port,
                          Payload(ENVELOPE_OVERHEAD + _body_size(body), data=env, kind="rpc"))
@@ -154,6 +182,10 @@ class RpcEndpoint:
         sim = self.stack.sim
         last_exc: Optional[Exception] = None
         for attempt in range(retries):
+            if self.sock.closed:
+                # Our component crashed mid-call; surface as a timeout so
+                # callers' existing retry/abort paths handle it.
+                raise RpcTimeout(f"{kind}: local endpoint closed")
             rpc_id = self._alloc_id()
             env = _Envelope(rpc_id, kind, body, is_reply=False)
             waiter = sim.event()

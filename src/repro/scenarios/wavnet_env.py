@@ -117,6 +117,9 @@ class WavnetEnvironment:
                 **stack_kwargs)
             host = site.hosts[0]
         self._next_pub += 1
+        # Every other rendezvous server is a registration failover target.
+        driver_kwargs.setdefault("backup_rendezvous_ips",
+                                 [s.ip for s in self.rendezvous if s is not rvz])
         driver = WavnetDriver(
             host,
             virtual_ip=self._alloc_vip(),

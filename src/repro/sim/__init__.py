@@ -11,6 +11,7 @@ simulated time are delivered in schedule order (a monotonically increasing
 sequence number breaks ties), so a fixed seed reproduces a run exactly.
 """
 
+from repro.obs.metrics import Counter, IntervalRate, TimeSeries
 from repro.sim.engine import (
     AllOf,
     AnyOf,
@@ -22,7 +23,7 @@ from repro.sim.engine import (
     Timeout,
     Timer,
 )
-from repro.sim.monitor import Counter, IntervalRate, TimeSeries
+from repro.sim.lifecycle import Component, ComponentRegistry, LifecycleState
 from repro.sim.queues import Channel, QueueFull, Store
 from repro.sim.rng import RngRegistry
 
@@ -30,10 +31,13 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Channel",
+    "Component",
+    "ComponentRegistry",
     "Counter",
     "Event",
     "Interrupt",
     "IntervalRate",
+    "LifecycleState",
     "Process",
     "QueueFull",
     "RngRegistry",

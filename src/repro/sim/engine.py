@@ -421,6 +421,7 @@ class Simulator:
         self._active_process: Process | None = None
         self.events_dispatched = 0
         from repro.obs import MetricsRegistry, StepProfiler, Tracer
+        from repro.sim.lifecycle import ComponentRegistry
         from repro.sim.rng import RngRegistry
 
         self.rng = RngRegistry(seed)
@@ -428,6 +429,8 @@ class Simulator:
         self.metrics = MetricsRegistry(self)
         self.trace = Tracer(self)
         self.profile = StepProfiler()
+        # Failure plane: every lifecycle-aware component registers here.
+        self.components = ComponentRegistry(self)
 
     # -- factories ----------------------------------------------------
     def event(self) -> Event:

@@ -1,16 +1,19 @@
-"""Measurement probes — compatibility shim over :mod:`repro.obs`.
+"""Deprecated: measurement probes moved to :mod:`repro.obs.metrics`.
 
-The probe classes moved into the observability spine
-(:mod:`repro.obs.metrics`), where they are also addressable through the
-simulator's hierarchical :class:`~repro.obs.metrics.MetricsRegistry`
-(``sim.metrics``).  Existing imports keep working::
-
-    from repro.sim.monitor import Counter, IntervalRate, TimeSeries
-
-New code should prefer ``sim.metrics.counter("host.driver.pulse.tx")``
-and friends so measurements are discoverable by dotted path.
+This stub remains for one release so third-party imports keep working.
+Import ``Counter`` / ``IntervalRate`` / ``TimeSeries`` / ``record_any``
+from :mod:`repro.obs` (or use ``sim.metrics.counter("path")`` and
+friends so measurements are discoverable by dotted path).
 """
+
+import warnings
 
 from repro.obs.metrics import Counter, IntervalRate, TimeSeries, record_any
 
 __all__ = ["Counter", "IntervalRate", "TimeSeries", "record_any"]
+
+warnings.warn(
+    "repro.sim.monitor is deprecated; import from repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -210,7 +210,10 @@ class TestKeepalive:
         env.hosts["h1"].driver.stop()
         sim.run(until=sim.now + 60)
         assert conn.state is ConnectionState.DEAD
-        assert "h1" not in env.hosts["h0"].driver.connections
+        # Repair supervision may be mid-punch toward the dead peer, but
+        # no usable tunnel may exist while h1 stays down.
+        refreshed = env.hosts["h0"].driver.connections.get("h1")
+        assert refreshed is None or not refreshed.usable
 
     def test_keepalive_traffic_is_tiny(self):
         """The 2-byte pulse: measure keepalive bandwidth on an idle link."""

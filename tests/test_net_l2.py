@@ -165,6 +165,133 @@ class TestLink:
         assert link.total_bytes == 2 * f.size
 
 
+class TestLinkAdminState:
+    def test_admin_down_drops_and_counts(self):
+        sim = Simulator()
+        a, b = Sink(sim), Sink(sim)
+        link = Link(sim, a.port, b.port, latency=0.001, bandwidth_bps=None,
+                    name="adm")
+        link.admin_down()
+        f = make_frame()
+        a.port.transmit(f)
+        b.port.transmit(f)
+        sim.run()
+        assert a.received == [] and b.received == []
+        assert link.frames_dropped_down == 2
+        assert not link.running
+
+    def test_admin_up_restores_delivery(self):
+        sim = Simulator()
+        a, b = Sink(sim), Sink(sim)
+        link = Link(sim, a.port, b.port, latency=0.001, bandwidth_bps=None)
+        link.admin_down()
+        a.port.transmit(make_frame())
+        sim.run()
+        link.admin_up()
+        a.port.transmit(make_frame())
+        sim.run()
+        assert len(b.received) == 1
+        assert link.frames_dropped_down == 1
+        assert link.running
+
+    def test_admin_down_is_link_stop(self):
+        """admin_down/up ride the lifecycle protocol, so the link shows
+        up as a stoppable component in the registry."""
+        sim = Simulator()
+        a, b = Sink(sim), Sink(sim)
+        link = Link(sim, a.port, b.port, name="edge")
+        assert sim.components.get(link.component_id) is link
+        sim.components.stop(link.component_id)
+        a.port.transmit(make_frame())
+        sim.run()
+        assert b.received == []
+        sim.components.restore(link.component_id)
+        a.port.transmit(make_frame())
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_set_latency_mid_flight(self):
+        """Reconfiguring latency only affects frames not yet on the wire."""
+        sim = Simulator()
+        a, b = Sink(sim), Sink(sim)
+        link = Link(sim, a.port, b.port, latency=0.010, bandwidth_bps=None)
+        a.port.transmit(make_frame())
+
+        def reconfigure(sim):
+            yield sim.timeout(0.001)  # first frame is already in flight
+            link.set_latency(0.050)
+            a.port.transmit(make_frame())
+
+        sim.process(reconfigure(sim))
+        sim.run()
+        t1, t2 = (t for t, _ in b.received)
+        assert t1 == pytest.approx(0.010)
+        assert t2 == pytest.approx(0.001 + 0.050)
+
+    def test_set_bandwidth_mid_flight(self):
+        """A frame in service finishes at the old rate; queued frames
+        serialize at the new one."""
+        sim = Simulator()
+        a, b = Sink(sim), Sink(sim)
+        link = Link(sim, a.port, b.port, latency=0.0, bandwidth_bps=1e6)
+        f = make_frame(1000)
+        a.port.transmit(f)  # in service at 1 Mb/s
+        a.port.transmit(f)  # queued
+        link.set_bandwidth(10e6)
+        sim.run()
+        t1, t2 = (t for t, _ in b.received)
+        assert t1 == pytest.approx(f.size * 8 / 1e6)
+        assert t2 == pytest.approx(t1 + f.size * 8 / 10e6)
+
+    def test_set_loss_mid_run(self):
+        sim = Simulator(seed=4)
+        a, b = Sink(sim), Sink(sim)
+        link = Link(sim, a.port, b.port, latency=0, bandwidth_bps=None,
+                    loss=0.0)
+        f = make_frame(100)
+
+        def tx(sim):
+            for _ in range(100):
+                a.port.transmit(f)
+                yield sim.timeout(0.001)
+            link.set_loss(0.9)
+            for _ in range(100):
+                a.port.transmit(f)
+                yield sim.timeout(0.001)
+
+        sim.process(tx(sim))
+        sim.run()
+        # The lossless first half all arrives; the 90%-loss second half
+        # mostly does not.
+        assert 100 <= len(b.received) < 140
+        assert link.ab.frames_lost == 200 - len(b.received)
+
+    def test_port_down_blocks_both_directions(self):
+        sim = Simulator()
+        a, b = Sink(sim), Sink(sim)
+        Link(sim, a.port, b.port, latency=0.001, bandwidth_bps=None)
+        b.port.up = False
+        a.port.transmit(make_frame())  # delivery side down: dropped on rx
+        b.port.transmit(make_frame())  # transmit side down: never sent
+        sim.run()
+        assert a.received == [] and b.received == []
+        b.port.up = True
+        a.port.transmit(make_frame())
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_port_disconnect(self):
+        sim = Simulator()
+        a, b = Sink(sim), Sink(sim)
+        Link(sim, a.port, b.port, latency=0.001, bandwidth_bps=None)
+        assert a.port.connected
+        a.port.disconnect()
+        assert not a.port.connected
+        a.port.transmit(make_frame())  # no medium: silently dropped
+        sim.run()
+        assert b.received == []
+
+
 class TestPortPatch:
     def test_patch_is_bidirectional_zero_delay(self):
         sim = Simulator()

@@ -93,14 +93,20 @@ class TestMetricsRegistry:
 
 
 class TestMonitorShim:
-    def test_legacy_imports_are_obs_classes(self):
-        from repro.sim.monitor import Counter as C
-        from repro.sim.monitor import IntervalRate as IR
-        from repro.sim.monitor import TimeSeries as TS
+    def test_legacy_imports_warn_and_are_obs_classes(self):
+        import importlib
+        import warnings
 
-        assert C is Counter
-        assert IR is IntervalRate
-        assert TS is TimeSeries
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.sim.monitor as monitor
+
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            monitor = importlib.reload(monitor)
+
+        assert monitor.Counter is Counter
+        assert monitor.IntervalRate is IntervalRate
+        assert monitor.TimeSeries is TimeSeries
 
 
 class TestResample:
