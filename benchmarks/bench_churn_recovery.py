@@ -16,7 +16,12 @@ seeds and reports the distributions the failure plane exists to measure:
 Every run must end converged: all running hosts registered with a
 running rendezvous server and every pair connected by a usable tunnel —
 with nobody calling ``connect()`` after the mesh was first built.
-Results land in ``BENCH_churn.json`` at the repo root.
+
+The per-seed runs go through the experiment plane: a ``seed`` axis over
+the registered ``churn_recovery`` scenario, executed by
+:class:`repro.exp.SweepRunner` (``force=True`` so the benchmark always
+measures real work). Results land in ``BENCH_churn.json`` at the repo
+root.
 
 Run standalone (``python benchmarks/bench_churn_recovery.py``) or via
 pytest. ``--check`` exits non-zero if any seed fails to converge or no
@@ -31,15 +36,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-import numpy as np  # noqa: E402
-
-from repro.net.icmp import Pinger  # noqa: E402
-from repro.scenarios.churn import (  # noqa: E402
-    build_churn_env,
-    mesh_converged,
-    scripted_churn_plan,
-)
-from repro.sim import Simulator  # noqa: E402
+from repro.exp import Sweep, SweepRunner, aggregate  # noqa: E402
 
 OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_churn.json"
 
@@ -47,62 +44,21 @@ SEEDS = (7, 11, 23, 42, 101)
 HORIZON = 220.0  # sim-seconds past the established mesh
 
 
-def run_seed(seed: int, n_hosts: int = 4, n_rendezvous: int = 2) -> dict:
-    sim = Simulator(seed=seed)
-    env = build_churn_env(sim, n_hosts=n_hosts, n_rendezvous=n_rendezvous)
-    plan = scripted_churn_plan(sim, env).arm()
-    # Ring traffic for the whole run: hosts that lose their tunnel drop
-    # these pings into ``frames.dropped_outage`` until repair lands.
-    names = list(env.hosts)
-    for i, name in enumerate(names):
-        nxt = env.hosts[names[(i + 1) % len(names)]]
-        pinger = Pinger(env.hosts[name].host.stack, nxt.virtual_ip,
-                        interval=1.0, timeout=1.0)
-        sim.process(pinger.run(int(HORIZON) - 5), name=f"churn-ping:{name}")
-    sim.run(until=sim.now + HORIZON)
-
-    repair, failover = [], []
-    frames_lost = repairs = failovers = 0
-    for name in env.hosts:
-        scope = sim.metrics.scope(f"{name}.driver")
-        repair.extend(scope.histogram("repair.seconds").values.tolist())
-        failover.extend(scope.histogram("rvz.failover_seconds").values.tolist())
-        frames_lost += int(scope.value("frames.dropped_outage"))
-        repairs += int(scope.value("repair.success"))
-        failovers += int(scope.value("rvz.failovers"))
-    return {
-        "seed": seed,
-        "faults_injected": len(plan),
-        "repairs": repairs,
-        "failovers": failovers,
-        "repair_seconds": repair,
-        "failover_seconds": failover,
-        "frames_lost": frames_lost,
-        "converged": mesh_converged(env),
-    }
+def churn_sweep(seeds=SEEDS) -> Sweep:
+    return (Sweep("churn", "churn_recovery",
+                  base_params={"horizon": HORIZON})
+            .add_axis("seed", list(seeds)))
 
 
-def _dist(samples: list[float]) -> dict:
-    if not samples:
-        return {"count": 0}
-    arr = np.asarray(samples, dtype=float)
-    return {
-        "count": len(samples),
-        "mean_s": round(float(arr.mean()), 3),
-        "p50_s": round(float(np.percentile(arr, 50)), 3),
-        "p95_s": round(float(np.percentile(arr, 95)), 3),
-        "max_s": round(float(arr.max()), 3),
-    }
-
-
-def run_all() -> dict:
-    runs = [run_seed(seed) for seed in SEEDS]
-    repair = [s for r in runs for s in r["repair_seconds"]]
-    failover = [s for r in runs for s in r["failover_seconds"]]
+def run_all(workers: int = 1) -> dict:
+    result = SweepRunner(churn_sweep(), workers=workers, force=True).run()
+    runs = result.payloads
+    repair = aggregate.merge_samples(result, "repair_seconds")
+    failover = aggregate.merge_samples(result, "failover_seconds")
     return {
         "seeds": list(SEEDS),
-        "repair_seconds": _dist(repair),
-        "failover_seconds": _dist(failover),
+        "repair_seconds": aggregate.distribution(repair),
+        "failover_seconds": aggregate.distribution(failover),
         "frames_lost_total": sum(r["frames_lost"] for r in runs),
         "repairs_total": sum(r["repairs"] for r in runs),
         "failovers_total": sum(r["failovers"] for r in runs),
@@ -155,7 +111,10 @@ def check(results: dict) -> bool:
 
 
 def main(argv: list[str]) -> int:
-    results = run_all()
+    workers = 1
+    if "--workers" in argv:
+        workers = int(argv[argv.index("--workers") + 1])
+    results = run_all(workers=workers)
     write_json(results)
     print(render(results))
     if "--check" in argv:

@@ -9,12 +9,13 @@ grows — 63 keepalive pulses per 5 s round to ~200 B/s of overhead.
 (The paper measures all peers sequentially; we sample 6 peers per
 cluster size to keep the packet-level simulation affordable — the
 keepalive load, which is the phenomenon under test, is fully present.)
+
+The per-size runs are a zip sweep (``n_hosts`` locked to its seed) over
+the registered ``netperf_cluster`` scenario.
 """
 
 from repro.analysis.tables import ShapeCheck, render_series
-from repro.apps.netperf import netperf_stream, netserver
-from repro.scenarios.emulated import build_emulated_wan
-from repro.sim import Simulator
+from repro.exp import Sweep, SweepRunner, aggregate
 
 CLUSTER_SIZES = [8, 16, 24, 32, 48, 64]
 WAN_BW = 100e6
@@ -23,40 +24,21 @@ DURATION = 5.0
 MSS = 8192  # jumbo abstraction: same for every size; only WAVNet measured
 
 
-def run_cluster(n_hosts):
-    sim = Simulator(seed=50 + n_hosts)
-    env, hosts = build_emulated_wan(sim, n_hosts, wan_bandwidth_bps=WAN_BW,
-                                    tcp_mss=MSS, udp_timeout=30.0)
-    started = sim.process(env.start_all())
-    sim.run(until=started)
-    mesh = sim.process(env.connect_full_mesh())
-    sim.run(until=mesh)
-    # Let keepalives run for several pulse periods before measuring.
-    sim.run(until=sim.now + 15.0)
-    source = hosts[0]
-    rates = []
-    pulses_before = sum(c.pulses_received
-                        for h in hosts for c in h.driver.connections.values())
-    for peer in hosts[1:1 + SAMPLE_PEERS]:
-        sim.process(netserver(peer.host))
-        p = sim.process(netperf_stream(source.host, peer.virtual_ip,
-                                       duration=DURATION))
-        sim.run(until=p)
-        rates.append(p.value.throughput_mbps)
-    pulses_after = sum(c.pulses_received
-                       for h in hosts for c in h.driver.connections.values())
-    n_conns = sum(len(h.driver.connections) for h in hosts) // 2
-    return sum(rates) / len(rates), n_conns, pulses_after - pulses_before
+def fig08_sweep() -> Sweep:
+    return (Sweep("fig08", "netperf_cluster",
+                  base_params={"wan_bandwidth_bps": WAN_BW, "tcp_mss": MSS,
+                               "udp_timeout": 30.0,
+                               "sample_peers": SAMPLE_PEERS,
+                               "duration": DURATION})
+            .zip_axes(n_hosts=CLUSTER_SIZES,
+                      seed=[50 + n for n in CLUSTER_SIZES]))
 
 
 def run_experiment():
-    avg_rates, conn_counts, pulse_counts = [], [], []
-    for n in CLUSTER_SIZES:
-        rate, conns, pulses = run_cluster(n)
-        avg_rates.append(rate)
-        conn_counts.append(conns)
-        pulse_counts.append(pulses)
-    return avg_rates, conn_counts, pulse_counts
+    result = SweepRunner(fig08_sweep(), force=True).run()
+    return (aggregate.column(result, "avg_mbps"),
+            aggregate.column(result, "connections"),
+            aggregate.column(result, "pulses_during_tests"))
 
 
 def test_fig08_scalability(run_once, emit):

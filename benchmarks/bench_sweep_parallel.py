@@ -1,0 +1,128 @@
+"""Sweep-runner benchmark: serial vs sharded execution of the 8-seed
+churn sweep, with a byte-identity proof.
+
+Runs the catalog's ``churn8`` sweep twice — ``workers=1`` and
+``workers=4`` — and records both wall clocks in ``BENCH_sweep.json``
+along with the canonical envelope bytes' digests. The simulations are
+deterministic and independent, so the sharded result MUST be
+byte-identical to the serial one (always enforced); the speedup is
+whatever the machine's cores allow and is reported honestly —
+``--check`` only enforces the >= 3x floor when at least 4 CPUs are
+visible to this process (a single-core container cannot speed anything
+up by forking).
+
+Run standalone (``python benchmarks/bench_sweep_parallel.py [--check]``)
+or via pytest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import sys
+import tempfile
+from time import perf_counter
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.exp import SweepRunner, get_sweep  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+PARALLEL_WORKERS = 4
+SPEEDUP_FLOOR = 3.0
+MIN_CPUS_FOR_FLOOR = 4
+
+
+def visible_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_run(workers: int, out_dir: pathlib.Path):
+    runner = SweepRunner(get_sweep("churn8"), workers=workers,
+                         out_dir=out_dir, force=True)
+    t0 = perf_counter()
+    result = runner.run()
+    return perf_counter() - t0, result
+
+
+def run_all() -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as td:
+        tmp = pathlib.Path(td)
+        serial_wall, serial = _timed_run(1, tmp / "serial")
+        parallel_wall, parallel = _timed_run(PARALLEL_WORKERS, tmp / "parallel")
+    serial_bytes = serial.result_bytes()
+    parallel_bytes = parallel.result_bytes()
+    return {
+        "sweep": "churn8",
+        "points": len(serial),
+        "cpus_visible": visible_cpus(),
+        "serial_wall_s": round(serial_wall, 3),
+        "parallel_workers": PARALLEL_WORKERS,
+        "parallel_wall_s": round(parallel_wall, 3),
+        "speedup": round(serial_wall / parallel_wall, 3),
+        "byte_identical": serial_bytes == parallel_bytes,
+        "envelopes_sha256": hashlib.sha256(serial_bytes).hexdigest(),
+        "parallel_envelopes_sha256":
+            hashlib.sha256(parallel_bytes).hexdigest(),
+    }
+
+
+def write_json(results: dict) -> None:
+    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def render(results: dict) -> str:
+    return (f"Sweep runner: {results['sweep']} ({results['points']} points), "
+            f"{results['cpus_visible']} CPU(s) visible\n"
+            f"  serial        {results['serial_wall_s']:7.2f}s\n"
+            f"  {results['parallel_workers']} workers     "
+            f"{results['parallel_wall_s']:7.2f}s   "
+            f"speedup {results['speedup']:.2f}x\n"
+            f"  byte-identical envelopes: {results['byte_identical']}")
+
+
+def check(results: dict) -> bool:
+    ok = True
+    if not results["byte_identical"]:
+        print("FAIL: sharded envelopes differ from serial")
+        ok = False
+    if (results["cpus_visible"] >= MIN_CPUS_FOR_FLOOR
+            and results["speedup"] < SPEEDUP_FLOOR):
+        print(f"FAIL: speedup {results['speedup']:.2f}x below "
+              f"{SPEEDUP_FLOOR}x floor on {results['cpus_visible']} CPUs")
+        ok = False
+    if ok:
+        floor = (f"speedup floor enforced ({SPEEDUP_FLOOR}x)"
+                 if results["cpus_visible"] >= MIN_CPUS_FOR_FLOOR
+                 else f"speedup floor waived on "
+                      f"{results['cpus_visible']} CPU(s)")
+        print(f"ok: byte-identical, {results['speedup']:.2f}x; {floor}")
+    return ok
+
+
+def main(argv: list[str]) -> int:
+    results = run_all()
+    write_json(results)
+    print(render(results))
+    if "--check" in argv:
+        return 0 if check(results) else 1
+    return 0
+
+
+def test_sweep_parallel(run_once, emit):
+    """Benchmark-suite entry point: serial vs sharded wall clock plus
+    the byte-identity assertion."""
+    results = run_once(run_all)
+    write_json(results)
+    emit(render(results))
+    assert check(results)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -11,42 +11,38 @@ Shape to preserve: all three stacks within a fraction of a millisecond
 of each other on WAN paths (packet-handling overhead amortized by
 propagation delay), with the virtual stacks adding a small positive
 overhead and IPOP >= WAVNet.
+
+The 3x3 grid (site pair x stack) is a two-group zip sweep over the
+registered ``stack_ping`` scenario: ``pair`` zipped to its RTT,
+crossed with ``stack`` zipped to its seed.
 """
 
 from repro.analysis.tables import ShapeCheck, render_table
-from repro.apps.ping import Pinger
+from repro.exp import Sweep, SweepRunner, aggregate
 from repro.scenarios.sites import pair_rtt_ms
-
-from stacks import ipop_pair, physical_pair, wavnet_pair
 
 PAIRS = [("hku1", "siat"), ("hku1", "pu"), ("siat", "pu")]
 BANDWIDTH = 50e6
 PROBES = 12
 
 
-def ping_mean_ms(pair, n_warmup=2):
-    pinger = Pinger(pair.host_a.stack, pair.ip_b, interval=0.5, timeout=5.0)
-    proc = pair.sim.process(pinger.run(PROBES))
-    pair.sim.run(until=proc)
-    # Read RTTs back out of the metrics registry (the Pinger records each
-    # probe into ``<stack>.ping.rtt``) rather than the process result.
-    series = pair.metrics.series(f"{pair.host_a.stack.name}.ping.rtt")
-    rtts = series.values[n_warmup:].tolist()
-    assert rtts, "ping produced no replies"
-    assert pair.metrics.value(f"{pair.host_a.stack.name}.ping.lost") == 0, \
-        "probes lost on an idle path"
-    return sum(rtts) / len(rtts) * 1000.0
+def table2_sweep() -> Sweep:
+    return (Sweep("table2", "stack_ping",
+                  base_params={"bandwidth_mbps": BANDWIDTH / 1e6,
+                               "probes": PROBES})
+            .zip_axes(pair=[f"{a.upper()}-{b.upper()}" for a, b in PAIRS],
+                      rtt_ms=[pair_rtt_ms(a, b) for a, b in PAIRS])
+            .zip_axes(stack=["physical", "wavnet", "ipop"],
+                      seed=[1, 2, 3]))
 
 
 def run_experiment():
-    rows = []
-    for a, b in PAIRS:
-        rtt = pair_rtt_ms(a, b) / 1000.0
-        phys = ping_mean_ms(physical_pair(rtt, BANDWIDTH, seed=1))
-        wav = ping_mean_ms(wavnet_pair(rtt, BANDWIDTH, seed=2))
-        ipop = ping_mean_ms(ipop_pair(rtt, BANDWIDTH, seed=3))
-        rows.append((f"{a.upper()}-{b.upper()}", phys, wav, ipop))
-    return rows
+    result = SweepRunner(table2_sweep(), force=True).run()
+    for p in result:
+        assert p.payload["replies"] > 2, "ping produced no replies"
+        assert p.payload["lost"] == 0, "probes lost on an idle path"
+    return aggregate.table_rows(result, row_axis="pair", col_axis="stack",
+                                key="mean_rtt_ms")
 
 
 def test_table2_latency(run_once, emit):

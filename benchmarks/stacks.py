@@ -1,114 +1,12 @@
-"""Builders for the three network stacks every comparison runs on:
-physical (native), WAVNet, and IPOP — over matched path parameters.
+"""Thin shim: the stack builders are a supported scenario module now —
+import from :mod:`repro.scenarios.stacks` (kept so ``from stacks import
+...`` in older benchmark code keeps working)."""
 
-``three_stack_pair`` returns, for a given (RTT, bottleneck bandwidth),
-one endpoint pair per stack, each exposing ``(sim, host_a, host_b,
-ip_of_b)`` so measurement code is identical across stacks.
-"""
-
-from __future__ import annotations
-
-from dataclasses import dataclass
-
-from repro.baselines.ipop import IpopConfig, IpopOverlay
-from repro.net.addresses import IPv4Address
-from repro.net.stack import Host
-from repro.net.wan import WanCloud
-from repro.scenarios.builder import host_pair, make_natted_site
-from repro.scenarios.wavnet_env import WavnetEnvironment
-from repro.sim.engine import Simulator
-
-__all__ = ["SITE_PATH_RTT", "StackPair", "ipop_pair", "physical_pair", "wavnet_pair"]
-
-# Fixed per-pair path cost outside the cloud: two sites, each with
-# host->switch (0.1 ms) + switch->NAT (0.1 ms) + access (0.2 ms), both
-# directions. The cloud carries the measured RTT minus this.
-ACCESS_LATENCY = 0.0002
-SITE_PATH_RTT = 2 * 2 * (0.0001 + 0.0001 + ACCESS_LATENCY)
-
-
-@dataclass
-class StackPair:
-    sim: Simulator
-    host_a: Host
-    host_b: Host
-    ip_b: IPv4Address
-    extra: dict
-
-    @property
-    def metrics(self):
-        """The pair's simulator-wide metrics registry (``repro.obs``)."""
-        return self.sim.metrics
-
-    @property
-    def trace(self):
-        """The pair's simulator-wide tracer (``repro.obs``)."""
-        return self.sim.trace
-
-
-def physical_pair(rtt: float, bandwidth_bps: float, seed: int = 0,
-                  mss: int = 1460,
-                  send_buf: int = 262144, recv_buf: int = 262144) -> StackPair:
-    """Native path: two public hosts on the same cloud + access links the
-    NATed builders use, so all three stacks share identical bottleneck
-    structure; only NAT boxes and tunneling differ."""
-    from repro.scenarios.builder import make_public_host
-
-    sim = Simulator(seed=seed)
-    cloud = WanCloud(sim, default_latency=0.010)
-    a = make_public_host(sim, cloud, "pa", "8.5.0.1", access_latency=ACCESS_LATENCY,
-                         access_bandwidth_bps=bandwidth_bps, tcp_mss=mss,
-                         tcp_send_buf=send_buf, tcp_recv_buf=recv_buf)
-    b = make_public_host(sim, cloud, "pb", "8.5.0.2", access_latency=ACCESS_LATENCY,
-                         access_bandwidth_bps=bandwidth_bps, tcp_mss=mss,
-                         tcp_send_buf=send_buf, tcp_recv_buf=recv_buf)
-    cloud.set_rtt("pa", "pb", max(rtt - 2 * 2 * ACCESS_LATENCY, 1e-4))
-    return StackPair(sim, a, b, IPv4Address("8.5.0.2"), {"cloud": cloud})
-
-
-def wavnet_pair(rtt: float, bandwidth_bps: float, seed: int = 0,
-                mss: int = 1460, nat_type: str = "port-restricted",
-                send_buf: int = 262144, recv_buf: int = 262144) -> StackPair:
-    """Two NATed WAVNet hosts punched together across the cloud."""
-    sim = Simulator(seed=seed)
-    env = WavnetEnvironment(sim, default_latency=0.010)
-    for name in ("wa", "wb"):
-        env.add_host(name, nat_type=nat_type,
-                     access_bandwidth_bps=bandwidth_bps, tcp_mss=mss,
-                     access_latency=ACCESS_LATENCY,
-                     tcp_send_buf=send_buf, tcp_recv_buf=recv_buf)
-    env.cloud.set_rtt("wa", "wb", max(rtt - SITE_PATH_RTT, 1e-4))
-    started = sim.process(env.start_all())
-    sim.run(until=started)
-    p = sim.process(env.connect_pair("wa", "wb"))
-    sim.run(until=p)
-    a = env.hosts["wa"].host
-    b = env.hosts["wb"].host
-    return StackPair(sim, a, b, env.hosts["wb"].virtual_ip, {"env": env})
-
-
-def ipop_pair(rtt: float, bandwidth_bps: float, seed: int = 0,
-              mss: int = 1460, config: IpopConfig | None = None,
-              send_buf: int = 262144, recv_buf: int = 262144) -> StackPair:
-    """Two NATed IPOP endpoints (direct P2P edge, so the comparison
-    isolates the per-packet user-level stack cost, as Table II/Fig 6 do).
-    Full-size segments fragment over IPOP's ~1280 B P2P MTU inside the
-    overlay (costing two stack services each), as real IPOP does."""
-    sim = Simulator(seed=seed)
-    cloud = WanCloud(sim, default_latency=0.010)
-    overlay = IpopOverlay(sim, config=config)
-    sites = []
-    for i, name in enumerate(("ia", "ib")):
-        site = make_natted_site(sim, cloud, name, f"8.6.0.{i + 1}",
-                                lan_subnet=f"192.168.{60 + i}.0/24",
-                                access_bandwidth_bps=bandwidth_bps, tcp_mss=mss,
-                                access_latency=ACCESS_LATENCY,
-                                tcp_send_buf=send_buf, tcp_recv_buf=recv_buf)
-        overlay.add_node(site.hosts[0], f"10.128.0.{i + 1}", nat=site.nat)
-        sites.append(site)
-    cloud.set_rtt("ia", "ib", max(rtt - SITE_PATH_RTT, 1e-4))
-    built = sim.process(overlay.build_ring())
-    sim.run(until=built)
-    a = sites[0].hosts[0]
-    b = sites[1].hosts[0]
-    return StackPair(sim, a, b, IPv4Address("10.128.0.2"), {"overlay": overlay})
+from repro.scenarios.stacks import (  # noqa: F401
+    SITE_PATH_RTT,
+    StackPair,
+    ipop_pair,
+    physical_pair,
+    stack_pair,
+    wavnet_pair,
+)

@@ -21,7 +21,7 @@ VM_IP = IPv4Address("10.99.1.1")
 
 def measure(sim, client_host, label):
     ab = ApacheBench(client_host, VM_IP, path="/file8k", concurrency=4)
-    report = sim.run(until=sim.process(ab.run_for(8.0)))
+    report = sim.run_coro(ab.run_for(8.0))
     mn, mean, mx = report.connect_ms()
     print(f"   [{label}] {report.requests_per_second:6.1f} req/s   "
           f"connect min/mean/max = {mn:.1f}/{mean:.1f}/{mx:.1f} ms")
@@ -32,8 +32,7 @@ def main() -> None:
     sim = Simulator(seed=11)
     print("== building the Table I testbed (hku1, hku2, siat)")
     wan = build_real_wan(sim, site_names=["hku1", "hku2", "siat"])
-    sim.run(until=sim.process(wan.env.start_all()))
-    sim.run(until=sim.process(wan.env.connect_full_mesh()))
+    wan.env.up().connect()
 
     vmms = {name: Hypervisor(wh.host, wh.driver.attach_port)
             for name, wh in wan.hosts.items()}
@@ -49,8 +48,8 @@ def main() -> None:
     before = measure(sim, client, "before")
 
     print("== live-migrating the VM SIAT -> HKU2 over the WAVNet tunnel")
-    report = sim.run(until=sim.process(
-        vmms["siat"].migrate(vm, vmms["hku2"], wan.host("hku2").virtual_ip)))
+    report = sim.run_coro(
+        vmms["siat"].migrate(vm, vmms["hku2"], wan.host("hku2").virtual_ip))
     print(f"   {report.n_rounds} pre-copy rounds, "
           f"{report.bytes_transferred / 1e6:.0f} MB moved, "
           f"total {report.total_time:.1f}s, "

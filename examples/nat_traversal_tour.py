@@ -20,16 +20,11 @@ def try_pair(nat_a: str, nat_b: str):
     env = WavnetEnvironment(sim, default_latency=0.020)
     env.add_host("a", nat_type=nat_a, punch_timeout=4.0)
     env.add_host("b", nat_type=nat_b, punch_timeout=4.0)
-    sim.run(until=sim.process(env.start_all()))
-
-    def attempt(sim):
-        try:
-            conn = yield sim.process(env.connect_pair("a", "b"))
-            return conn
-        except TimeoutError:
-            return None
-
-    conn = sim.run(until=sim.process(attempt(sim)))
+    env.up()
+    try:
+        conn = env.connect("a", "b")
+    except TimeoutError:
+        conn = None
     return sim, env, conn
 
 

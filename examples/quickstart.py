@@ -25,7 +25,7 @@ def main() -> None:
     bob = env.add_host("bob", nat_type="full-cone")
 
     print("== starting drivers (STUN + rendezvous registration)")
-    sim.run(until=sim.process(env.start_all()))
+    env.up()
     for wav_host in (alice, bob):
         driver = wav_host.driver
         ip, port = driver.public_endpoint
@@ -33,13 +33,13 @@ def main() -> None:
               f"public endpoint={ip}:{port}  virtual IP={driver.virtual_ip}")
 
     print("== alice looks up bob and punches a direct connection")
-    conn = sim.run(until=sim.process(env.connect_pair("alice", "bob")))
+    conn = env.connect("alice", "bob")
     print(f"   established in {conn.established_at:.3f}s sim time; "
           f"remote endpoint {conn.remote[0]}:{conn.remote[1]}")
 
     print("== ping over the virtual LAN")
     pinger = Pinger(alice.host.stack, bob.virtual_ip, interval=0.5)
-    result = sim.run(until=sim.process(pinger.run(5)))
+    result = sim.run_coro(pinger.run(5))
     print(f"   {result.received}/{result.sent} replies, "
           f"rtt min/mean/max = {result.min_rtt() * 1000:.1f}/"
           f"{result.mean_rtt() * 1000:.1f}/{result.max_rtt() * 1000:.1f} ms")

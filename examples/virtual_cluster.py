@@ -39,7 +39,7 @@ def run_ft_on(members, lm, seed):
             cloud.set_rtt(f"n{i}", f"n{j}", float(lm.m[a, b]))
     job = MpiJob(hosts, ips, ft_program((64, 64, 32), iterations=4),
                  base_flops=2e9)
-    return sim.run(until=sim.process(job.run()))
+    return sim.run_coro(job.run())
 
 
 def main() -> None:

@@ -5,4 +5,5 @@ set -x
 python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt
 python benchmarks/bench_kernel_events.py --check 2>&1 | tee /root/repo/bench_kernel_output.txt
 python benchmarks/bench_churn_recovery.py --check 2>&1 | tee /root/repo/bench_churn_output.txt
+python benchmarks/bench_sweep_parallel.py --check 2>&1 | tee /root/repo/bench_sweep_output.txt
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt

@@ -1,0 +1,88 @@
+"""CLI for the experiment plane.
+
+Usage::
+
+    python -m repro.exp list
+    python -m repro.exp run <sweep> [--workers N] [--out DIR] [--force]
+
+``run`` executes a named sweep from :mod:`repro.exp.catalog`, streaming
+one line per point, and leaves the artifacts under
+``benchmarks/out/sweeps/<name>/`` (resumable: re-running skips cached
+points unless ``--force``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.exp.catalog import SWEEPS, get_sweep, sweep_names
+from repro.exp.runner import SweepError, SweepRunner
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in sweep_names():
+        sweep = SWEEPS[name]()
+        doc = (SWEEPS[name].__doc__ or "").strip().split("\n")[0]
+        print(f"{name:12s} {len(sweep):3d} points  scenario={sweep.scenario}"
+              f"  {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        sweep = get_sweep(args.sweep)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    def progress(result) -> None:
+        tag = "cached" if result.cached else f"{result.wall_seconds:6.2f}s"
+        coords = " ".join(f"{k}={v}" for k, v in result.coords.items())
+        print(f"  [{result.index + 1}/{len(sweep)}] {tag:>8s}  {coords}")
+
+    runner = SweepRunner(sweep, workers=args.workers,
+                         out_dir=Path(args.out) if args.out else None,
+                         force=args.force, progress=progress)
+    print(f"sweep {sweep.name!r}: {len(sweep)} points, "
+          f"workers={args.workers}, out={runner.out_dir}")
+    try:
+        result = runner.run()
+    except SweepError as exc:
+        for index, err in sorted(exc.failures.items()):
+            print(f"point {index} failed:\n{err}", file=sys.stderr)
+        return 1
+    executed = len(result.executed_indices)
+    cached = len(result.cached_indices)
+    wall = sum(r.wall_seconds for r in result)
+    print(f"done: {executed} executed, {cached} cached, "
+          f"{wall:.2f}s simulated-run wall time")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp",
+        description="Run parameter sweeps over registered scenarios.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list named sweeps").set_defaults(
+        func=_cmd_list)
+
+    run = sub.add_parser("run", help="run a named sweep")
+    run.add_argument("sweep", help="sweep name (see `list`)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes (default 1 = serial)")
+    run.add_argument("--out", default=None,
+                     help="artifact directory (default benchmarks/out/sweeps)")
+    run.add_argument("--force", action="store_true",
+                     help="re-run every point, ignoring cached artifacts")
+    run.set_defaults(func=_cmd_run)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

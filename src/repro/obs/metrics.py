@@ -7,12 +7,16 @@ kind is an error.  :meth:`MetricsRegistry.scope` returns a view that
 prefixes every path, so a subsystem can hand out ``scope("hostA.driver")``
 and keep its own metric names relative.
 
-The classes double as the legacy ``repro.sim.monitor`` probes — that
-module is now a compatibility shim over this one.
+Every metric additionally supports :meth:`export` — a JSON-ready dict
+carrying the *full* recorded data (not just the ``describe()`` summary)
+— and :meth:`MetricsRegistry.export` selects metrics by dotted-path
+glob, which is how the experiment plane (:mod:`repro.exp`) ships
+selected measurements out of worker processes in result envelopes.
 """
 
 from __future__ import annotations
 
+from fnmatch import fnmatchcase
 from typing import Any, Callable, Iterator
 
 import numpy as np
@@ -25,6 +29,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsScope",
     "TimeSeries",
+    "path_matches",
     "record_any",
 ]
 
@@ -97,6 +102,10 @@ class TimeSeries:
         return {"kind": "series", "n": len(self), "mean": self.mean(),
                 "min": self.min(), "max": self.max()}
 
+    def export(self) -> dict:
+        return {"kind": "series", "times": list(self._times),
+                "values": list(self._values)}
+
 
 class Counter:
     """Named monotonically increasing counter."""
@@ -118,6 +127,8 @@ class Counter:
 
     def describe(self) -> dict:
         return {"kind": "counter", "value": self.value}
+
+    export = describe
 
 
 class Gauge:
@@ -146,6 +157,8 @@ class Gauge:
 
     def describe(self) -> dict:
         return {"kind": "gauge", "value": self.value}
+
+    export = describe
 
 
 class Histogram:
@@ -185,6 +198,9 @@ class Histogram:
                 "mean": self.mean(), "p50": self.percentile(50),
                 "p99": self.percentile(99)}
 
+    def export(self) -> dict:
+        return {"kind": "histogram", "values": list(self._values)}
+
 
 class IntervalRate:
     """Accumulates a quantity (e.g. bytes) and reports per-interval rates.
@@ -221,6 +237,20 @@ class IntervalRate:
 
     def describe(self) -> dict:
         return {"kind": "rate", "total": self.total, "snapshots": len(self.series)}
+
+    def export(self) -> dict:
+        return {"kind": "rate", "total": self.total,
+                "snapshot_times": list(self.series._times),
+                "snapshot_rates": list(self.series._values)}
+
+
+def path_matches(path: str, patterns: Iterable[str]) -> bool:
+    """True if ``path`` matches any glob, or sits under any pattern
+    interpreted as a dotted prefix."""
+    for pat in patterns:
+        if fnmatchcase(path, pat) or path.startswith(pat + "."):
+            return True
+    return False
 
 
 def record_any(sink: Any, value: float) -> None:
@@ -310,6 +340,19 @@ class MetricsRegistry:
         """Path -> describe() dict, optionally restricted to a prefix."""
         metrics = self.find(prefix) if prefix else self._metrics
         return {path: metrics[path].describe() for path in sorted(metrics)}
+
+    def select(self, patterns: Iterable[str]) -> list[str]:
+        """Sorted paths matching any pattern: ``fnmatch``-style globs
+        (``*.driver.repair.seconds``) or bare prefixes, which match their
+        whole subtree (``h0.driver`` matches ``h0.driver.pulse.tx``)."""
+        pats = list(patterns)
+        return sorted(p for p in self._metrics if path_matches(p, pats))
+
+    def export(self, patterns: Iterable[str]) -> dict[str, dict]:
+        """Path -> full-data export() dict for every selected metric —
+        the JSON-ready form result envelopes carry between processes."""
+        return {path: self._metrics[path].export()
+                for path in self.select(patterns)}
 
     def scope(self, prefix: str) -> "MetricsScope":
         return MetricsScope(self, prefix)

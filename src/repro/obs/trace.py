@@ -118,6 +118,15 @@ class Tracer:
         return list(seen)
 
     # -- export ---------------------------------------------------------
+    def export(self, patterns) -> list[dict]:
+        """Records whose name matches any glob/prefix pattern (see
+        :func:`repro.obs.metrics.path_matches`), in log order — the
+        selection result envelopes carry out of worker processes."""
+        from repro.obs.metrics import path_matches
+
+        pats = list(patterns)
+        return [r for r in self.records if path_matches(r["name"], pats)]
+
     def to_jsonl(self) -> str:
         """One JSON object per line; non-JSON attrs stringified."""
         return "\n".join(json.dumps(r, default=str) for r in self.records)

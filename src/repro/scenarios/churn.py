@@ -16,11 +16,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.exp.spec import scenario
 from repro.faults import FaultPlan
 from repro.scenarios.wavnet_env import WavnetEnvironment
 from repro.sim.engine import Simulator
 
-__all__ = ["build_churn_env", "scripted_churn_plan", "mesh_converged"]
+__all__ = ["build_churn_env", "churn_recovery", "mesh_converged",
+           "scripted_churn_plan"]
 
 
 def build_churn_env(
@@ -47,10 +49,7 @@ def build_churn_env(
             repair_backoff_cap=8.0,
             **host_kwargs,
         )
-    if n_rendezvous > 1:
-        sim.run(until=sim.process(env.join_rendezvous_overlay()))
-    sim.run(until=sim.process(env.start_all()))
-    sim.run(until=sim.process(env.connect_full_mesh()))
+    env.up().connect()
     return env
 
 
@@ -102,6 +101,52 @@ def scripted_churn_plan(
             plan.at(base + link_flap_at, "link_flap",
                     link=natted.site.access_link, down_for=link_down_for)
     return plan
+
+
+@scenario("churn_recovery")
+def churn_recovery(seed: int = 0, n_hosts: int = 4, n_rendezvous: int = 2,
+                   horizon: float = 220.0, ping: bool = True):
+    """One seed of the churn-recovery experiment: scripted faults against
+    an established mesh, with optional ring traffic so outages register
+    as dropped frames. Payload carries the recovery distributions
+    ``benchmarks/bench_churn_recovery.py`` aggregates."""
+    from repro.net.icmp import Pinger
+
+    sim = Simulator(seed=seed)
+    env = build_churn_env(sim, n_hosts=n_hosts, n_rendezvous=n_rendezvous)
+    plan = scripted_churn_plan(sim, env).arm()
+    if ping:
+        # Ring traffic for the whole run: hosts that lose their tunnel
+        # drop these pings into ``frames.dropped_outage`` until repair.
+        names = list(env.hosts)
+        for i, name in enumerate(names):
+            nxt = env.hosts[names[(i + 1) % len(names)]]
+            pinger = Pinger(env.hosts[name].host.stack, nxt.virtual_ip,
+                            interval=1.0, timeout=1.0)
+            sim.process(pinger.run(max(int(horizon) - 5, 1)),
+                        name=f"churn-ping:{name}")
+    sim.run(until=sim.now + horizon)
+
+    repair, failover = [], []
+    frames_lost = repairs = failovers = 0
+    for name in env.hosts:
+        scope = sim.metrics.scope(f"{name}.driver")
+        repair.extend(scope.histogram("repair.seconds").values.tolist())
+        failover.extend(scope.histogram("rvz.failover_seconds").values.tolist())
+        frames_lost += int(scope.value("frames.dropped_outage"))
+        repairs += int(scope.value("repair.success"))
+        failovers += int(scope.value("rvz.failovers"))
+    payload = {
+        "seed": seed,
+        "faults_injected": len(plan),
+        "repairs": repairs,
+        "failovers": failovers,
+        "repair_seconds": repair,
+        "failover_seconds": failover,
+        "frames_lost": frames_lost,
+        "converged": mesh_converged(env),
+    }
+    return sim, payload
 
 
 def mesh_converged(env: WavnetEnvironment) -> bool:

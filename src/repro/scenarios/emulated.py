@@ -8,10 +8,11 @@ cloud."""
 
 from __future__ import annotations
 
+from repro.exp.spec import scenario
 from repro.scenarios.wavnet_env import WavnetEnvironment
 from repro.sim.engine import Simulator
 
-__all__ = ["build_emulated_wan"]
+__all__ = ["build_emulated_wan", "netperf_cluster"]
 
 
 def build_emulated_wan(
@@ -42,3 +43,42 @@ def build_emulated_wan(
             pulse_interval=pulse_interval,
         ))
     return env, hosts
+
+
+@scenario("netperf_cluster")
+def netperf_cluster(seed: int = 0, n_hosts: int = 8,
+                    wan_bandwidth_bps: float = 100e6, tcp_mss: int = 8192,
+                    udp_timeout: float = 30.0, sample_peers: int = 6,
+                    duration: float = 5.0, settle: float = 15.0):
+    """Figure 8's measurement at one cluster size: full-mesh WAVNet
+    cluster with live keepalives, netperf from one node to a sample of
+    peers. Payload carries the per-host average rate, connection count,
+    and keepalive pulses observed during the tests."""
+    from repro.apps.netperf import netperf_stream, netserver
+
+    sim = Simulator(seed=seed)
+    env, hosts = build_emulated_wan(sim, n_hosts,
+                                    wan_bandwidth_bps=wan_bandwidth_bps,
+                                    tcp_mss=tcp_mss, udp_timeout=udp_timeout)
+    env.up().connect()
+    # Let keepalives run for several pulse periods before measuring.
+    sim.run(until=sim.now + settle)
+    source = hosts[0]
+    rates = []
+    pulses_before = sum(c.pulses_received
+                        for h in hosts for c in h.driver.connections.values())
+    for peer in hosts[1:1 + sample_peers]:
+        sim.process(netserver(peer.host))
+        report = sim.run_coro(netperf_stream(source.host, peer.virtual_ip,
+                                             duration=duration))
+        rates.append(report.throughput_mbps)
+    pulses_after = sum(c.pulses_received
+                      for h in hosts for c in h.driver.connections.values())
+    payload = {
+        "n_hosts": n_hosts,
+        "avg_mbps": sum(rates) / len(rates),
+        "rates_mbps": rates,
+        "connections": sum(len(h.driver.connections) for h in hosts) // 2,
+        "pulses_during_tests": pulses_after - pulses_before,
+    }
+    return sim, payload

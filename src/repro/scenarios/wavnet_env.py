@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.driver import WavnetDriver
+from repro.exp.spec import scenario
 from repro.net.addresses import IPv4Address
 from repro.net.stack import Host
 from repro.net.wan import WanCloud
@@ -20,7 +21,7 @@ from repro.scenarios.builder import NattedSite, make_natted_site, make_public_ho
 from repro.sim.engine import Simulator
 from repro.stun.server import StunServerPair
 
-__all__ = ["WavnetEnvironment", "WavnetHost"]
+__all__ = ["WavnetEnvironment", "WavnetHost", "wavnet_mesh"]
 
 
 @dataclass
@@ -64,9 +65,11 @@ class WavnetEnvironment:
             self.rendezvous.append(server)
 
     def join_rendezvous_overlay(self):
-        """Process: join all non-bootstrap rendezvous nodes into the CAN."""
+        """Process: join all non-bootstrap rendezvous nodes into the CAN
+        (servers already in the overlay are left alone)."""
         for server in self.rendezvous[1:]:
-            yield self.sim.process(server.join_via(self.rendezvous[0]))
+            if not server.can.joined:
+                yield self.sim.process(server.join_via(self.rendezvous[0]))
 
     def _alloc_vip(self) -> IPv4Address:
         vip = IPv4Address("10.99.0.0") + self._next_vip
@@ -139,6 +142,29 @@ class WavnetEnvironment:
         """Pairwise RTT between two host sites over the cloud."""
         self.cloud.set_rtt(a, b, rtt)
 
+    # -- conveniences (run the simulator themselves) -------------------
+    def up(self) -> "WavnetEnvironment":
+        """Bring the deployment up: join extra rendezvous servers into
+        the CAN, then start every driver. Runs the simulator; returns
+        self so ``env.up().connect(...)`` chains."""
+        if len(self.rendezvous) > 1:
+            self.sim.run_coro(self.join_rendezvous_overlay())
+        self.sim.run_coro(self.start_all())
+        return self
+
+    def connect(self, *pairs):
+        """Punch tunnels and return the connections (runs the simulator).
+
+        * ``env.connect("a", "b")`` — one pair, returns its connection;
+        * ``env.connect(("a", "b"), ("a", "c"))`` — returns a list;
+        * ``env.connect()`` — full mesh over all hosts, returns a list.
+        """
+        if len(pairs) == 2 and all(isinstance(p, str) for p in pairs):
+            return self.sim.run_coro(self.connect_pair(*pairs))
+        if not pairs:
+            return self.sim.run_coro(self.connect_full_mesh())
+        return [self.sim.run_coro(self.connect_pair(a, b)) for a, b in pairs]
+
     def start_all(self):
         """Process: start every driver (STUN + registration), serially to
         keep rendezvous registration deterministic."""
@@ -152,8 +178,39 @@ class WavnetEnvironment:
         return conn
 
     def connect_full_mesh(self, names: Optional[list[str]] = None):
-        """Process: pairwise connections among ``names`` (default: all)."""
+        """Process: pairwise connections among ``names`` (default: all);
+        returns the connections in pair order."""
         names = names or list(self.hosts)
+        conns = []
         for i, a in enumerate(names):
             for b in names[i + 1:]:
-                yield self.sim.process(self.connect_pair(a, b))
+                conn = yield self.sim.process(self.connect_pair(a, b))
+                conns.append(conn)
+        return conns
+
+
+@scenario("wavnet_mesh")
+def wavnet_mesh(seed: int = 0, n_hosts: int = 2, n_rendezvous: int = 1,
+                nat_type: str = "port-restricted", rtt: float = 0.05,
+                settle: float = 0.0):
+    """Bring up a full-mesh WAVNet deployment and report how it punched:
+    the baseline scenario for sweeping NAT types, host counts, and WAN
+    RTTs through the experiment plane."""
+    sim = Simulator(seed=seed)
+    env = WavnetEnvironment(sim, default_latency=rtt / 2.0,
+                            n_rendezvous=n_rendezvous)
+    for i in range(n_hosts):
+        env.add_host(f"m{i}", nat_type=nat_type)
+    conns = env.up().connect()
+    if settle > 0:
+        sim.run(until=sim.now + settle)
+    punch = [c.established_at for c in conns]
+    payload = {
+        "n_hosts": n_hosts,
+        "nat_type": nat_type,
+        "connections": len(conns),
+        "relayed": sum(1 for c in conns if c.relayed),
+        "punch_done_at": punch,
+        "mesh_done_at": max(punch) if punch else None,
+    }
+    return sim, payload

@@ -561,6 +561,14 @@ class Simulator:
             item._run_callbacks()
             return
 
+    def run_coro(self, coro: Generator[Event, Any, Any] | Process,
+                 name: str | None = None) -> Any:
+        """Schedule a process coroutine, run until it terminates, and
+        return its value — replaces the ``run(until=sim.process(coro))``
+        boilerplate. Accepts an already-created :class:`Process` too."""
+        proc = coro if isinstance(coro, Process) else self.process(coro, name=name)
+        return self.run(until=proc)
+
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the calendar drains, ``until`` time passes, or an
         ``until`` event triggers (its value is returned)."""

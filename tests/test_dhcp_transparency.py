@@ -87,8 +87,7 @@ class TestDhcpOverWavnet:
         env = WavnetEnvironment(sim, default_latency=0.030)
         env.add_host("serverside")
         env.add_host("clientside")
-        sim.run(until=sim.process(env.start_all()))
-        sim.run(until=sim.process(env.connect_pair("serverside", "clientside")))
+        env.up().connect("serverside", "clientside")
 
         # DHCP server on serverside's wav0 (its virtual interface).
         srv_host = env.hosts["serverside"].host

@@ -23,8 +23,7 @@ def build(n=4, seed=77):
     for a in ("h0", "h1"):
         for b in ("h2", "h3"):
             env.set_site_rtt(a, b, 0.120)
-    sim.run(until=sim.process(env.start_all()))
-    sim.run(until=sim.process(env.connect_full_mesh()))
+    env.up().connect()
     return sim, env
 
 

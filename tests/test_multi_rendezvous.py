@@ -13,13 +13,11 @@ def build(n_rendezvous=3, hosts_per_rvz=2, seed=55):
     sim = Simulator(seed=seed)
     env = WavnetEnvironment(sim, default_latency=0.015,
                             n_rendezvous=n_rendezvous)
-    joined = sim.process(env.join_rendezvous_overlay())
-    sim.run(until=joined)
     for r in range(n_rendezvous):
         for i in range(hosts_per_rvz):
             env.add_host(f"h{r}{i}", rendezvous_index=r,
                          attrs={"cpu_ghz": 1.0 + r, "mem_mb": 1024.0 * (i + 1)})
-    sim.run(until=sim.process(env.start_all()))
+    env.up()
     return sim, env
 
 
@@ -67,7 +65,7 @@ class TestCrossRendezvousConnect:
 
     def test_data_flows_after_cross_broker(self):
         sim, env = build()
-        sim.run(until=sim.process(env.connect_pair("h00", "h21")))
+        env.connect("h00", "h21")
         ping = sim.process(Pinger(env.hosts["h00"].host.stack,
                                   env.hosts["h21"].virtual_ip,
                                   interval=0.3).run(3))

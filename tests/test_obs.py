@@ -92,21 +92,12 @@ class TestMetricsRegistry:
         assert h.count == 100
 
 
-class TestMonitorShim:
-    def test_legacy_imports_warn_and_are_obs_classes(self):
-        import importlib
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            import repro.sim.monitor as monitor
-
-        with pytest.warns(DeprecationWarning, match="repro.obs"):
-            monitor = importlib.reload(monitor)
-
-        assert monitor.Counter is Counter
-        assert monitor.IntervalRate is IntervalRate
-        assert monitor.TimeSeries is TimeSeries
+class TestMonitorShimRemoved:
+    def test_legacy_module_is_gone(self):
+        # The PR-4 deprecation shim served its one release; the classes
+        # live in repro.obs (re-exported from repro.sim).
+        with pytest.raises(ModuleNotFoundError):
+            import repro.sim.monitor  # noqa: F401
 
 
 class TestResample:
@@ -323,7 +314,7 @@ class TestRunUntilFailedEvent:
             yield sim.timeout(1.0)
             return 42
 
-        assert sim.run(until=sim.process(ok(sim))) == 42
+        assert sim.run_coro(ok(sim)) == 42
 
 
 def build_env(n_hosts=2, nat_types=None, **host_kwargs):

@@ -14,7 +14,7 @@ def build(n=3, seed=66, **kwargs):
     env = WavnetEnvironment(sim)
     for i in range(n):
         env.add_host(f"h{i}", **kwargs)
-    sim.run(until=sim.process(env.start_all()))
+    env.up()
     return sim, env
 
 
@@ -23,7 +23,7 @@ class TestReconnect:
         """A dead connection is detected, torn down, and a fresh connect
         succeeds once the peer is back."""
         sim, env = build(2)
-        sim.run(until=sim.process(env.connect_pair("h0", "h1")))
+        env.connect("h0", "h1")
         conn1 = env.hosts["h0"].driver.connections["h1"]
         # h1's driver crashes: all of its processes stop and the socket
         # closes (ordered so no process touches the dead socket).
@@ -38,7 +38,7 @@ class TestReconnect:
         env.hosts["h1"].driver.tap.up = True
         env.hosts["h1"].driver._rx_proc = sim.process(
             env.hosts["h1"].driver._rx_loop(), name="wav-rx:h1-restarted")
-        sim.run(until=sim.process(env.hosts["h1"].driver.start()))
+        sim.run_coro(env.hosts["h1"].driver.start())
         p = sim.process(env.connect_pair("h0", "h1"))
         sim.run(until=p)
         assert p.value.usable
@@ -46,7 +46,7 @@ class TestReconnect:
     def test_connections_are_independent(self):
         """h1 dying must not disturb the h0<->h2 tunnel."""
         sim, env = build(3)
-        sim.run(until=sim.process(env.connect_full_mesh()))
+        env.connect()
         env.hosts["h1"].driver.stop()
         sim.run(until=sim.now + 90)
         ping = sim.process(Pinger(env.hosts["h0"].host.stack,
@@ -57,7 +57,7 @@ class TestReconnect:
 
     def test_switch_forgets_dead_peer_macs(self):
         sim, env = build(2)
-        sim.run(until=sim.process(env.connect_pair("h0", "h1")))
+        env.connect("h0", "h1")
         ping = sim.process(Pinger(env.hosts["h0"].host.stack,
                                   env.hosts["h1"].virtual_ip).run(2))
         sim.run(until=ping)

@@ -533,3 +533,37 @@ def test_calendar_compaction_reclaims_canceled_bulk():
     sim.run()
     assert survivor_fired == [1.0]
     assert sim.now == 1.0
+
+
+def test_run_coro_runs_generator_to_completion():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(2.0)
+        value = yield sim.timeout(1.0, value="done")
+        return value
+
+    assert sim.run_coro(worker(sim)) == "done"
+    assert sim.now == 3.0
+
+
+def test_run_coro_accepts_existing_process():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1.5)
+        return 42
+
+    proc = sim.process(worker(sim), name="w")
+    assert sim.run_coro(proc) == 42
+
+
+def test_run_coro_reraises_process_failure():
+    sim = Simulator()
+
+    def boom(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("kaput")
+
+    with pytest.raises(ValueError, match="kaput"):
+        sim.run_coro(boom(sim))

@@ -1,4 +1,8 @@
-"""Tests for RNG streams and measurement probes."""
+"""Tests for RNG streams and measurement probes.
+
+The probe classes live in :mod:`repro.obs.metrics` (re-exported from
+``repro.sim``); the old ``repro.sim.monitor`` module is gone.
+"""
 
 import numpy as np
 import pytest
