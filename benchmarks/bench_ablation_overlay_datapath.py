@@ -18,7 +18,7 @@ from repro.net.addresses import IPv4Address
 from repro.net.wan import WanCloud
 from repro.scenarios.builder import make_natted_site
 
-from stacks import ipop_pair, wavnet_pair
+from repro.scenarios.stacks import ipop_pair, wavnet_pair
 from repro.sim import Simulator
 
 RTT = 0.025

@@ -13,7 +13,7 @@ from repro.analysis.tables import ShapeCheck, render_series
 from repro.apps.ttcp import ttcp_receiver, ttcp_transfer
 from repro.scenarios.sites import pair_rtt_ms
 
-from stacks import ipop_pair, physical_pair, wavnet_pair
+from repro.scenarios.stacks import ipop_pair, physical_pair, wavnet_pair
 
 RTT = pair_rtt_ms("hku1", "siat") / 1000.0
 BANDWIDTH = 18.6e6

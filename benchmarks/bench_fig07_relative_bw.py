@@ -10,7 +10,7 @@ its user-level stack, not the wire, is the bottleneck.
 from repro.analysis.tables import ShapeCheck, render_series
 from repro.apps.netperf import netperf_stream, netserver
 
-from stacks import ipop_pair, physical_pair, wavnet_pair
+from repro.scenarios.stacks import ipop_pair, physical_pair, wavnet_pair
 
 RATES_MBPS = [6.25, 12.5, 25, 50, 100]
 RTT = 0.001  # emulated WAN: LAN-latency fabric, bandwidth-shaped only

@@ -1,0 +1,140 @@
+"""Fluid-plane scalability: 10^4 concurrent bulk flows vs packet TCP.
+
+The fluid plane's reason to exist is scale: a bulk transfer costs one
+calendar event per rate change instead of one per segment. This bench
+runs the ``fluid_fanout`` experiment scenario (10,000 concurrent 64 KB
+transfers over 10 host pairs) at both fidelities through the experiment
+plane (``repro.exp``), so each run is a cached, deterministic
+:class:`ExperimentSpec` envelope, and gates on the PR's two scalability
+claims:
+
+* **Wall clock** — the fluid run is >= 10x faster than the packet run.
+* **Events** — the fluid run dispatches >= 100x fewer simulator events.
+
+Both runs must complete every flow. Aggregate goodput is *reported*
+but not gated: at 1,000 flows per access link the fair share sits
+below one segment per RTT, where packet TCP sheds load through queue
+overflow and retransmission timeouts — a collapse regime the max-min
+model intentionally idealizes. Cross-fidelity *agreement* is gated in
+``bench_fluid_agreement.py`` on matched steady-state regimes; this
+bench measures what fidelity costs.
+
+Results merge into ``BENCH_fluid.json`` under ``"scale"``. Run
+standalone (``python benchmarks/bench_fluid_scale.py [--check]``) or
+via pytest; ``--check`` is the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.exp.spec import ExperimentSpec  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_fluid.json"
+
+N_FLOWS = 10_000
+WALL_SPEEDUP_FLOOR = 10.0
+EVENTS_RATIO_FLOOR = 100.0
+
+
+def run_fanout(fidelity: str, n_flows: int = N_FLOWS) -> dict:
+    spec = ExperimentSpec(scenario="fluid_fanout", seed=7,
+                          params={"fidelity": fidelity, "n_flows": n_flows})
+    return spec.run()
+
+
+def run_all(n_flows: int = N_FLOWS) -> dict:
+    rows = {}
+    for fidelity in ("packet", "fluid"):
+        env = run_fanout(fidelity, n_flows)
+        rows[fidelity] = {
+            "completed": env["payload"]["completed"],
+            "sim_seconds": round(env["payload"]["sim_seconds"], 3),
+            "goodput_mbps": round(env["payload"]["goodput_mbps"], 2),
+            "events_dispatched": env["obs"]["events_dispatched"],
+            "wall_seconds": round(env["wall_seconds"], 3),
+        }
+    pkt, fld = rows["packet"], rows["fluid"]
+    return {
+        "n_flows": n_flows,
+        "packet": pkt,
+        "fluid": fld,
+        "wall_speedup": round(pkt["wall_seconds"] /
+                              max(fld["wall_seconds"], 1e-9), 1),
+        "events_ratio": round(pkt["events_dispatched"] /
+                              max(fld["events_dispatched"], 1), 1),
+        "goodput_rel_delta": round(
+            (fld["goodput_mbps"] - pkt["goodput_mbps"]) /
+            pkt["goodput_mbps"], 4),
+        "wall_speedup_floor": WALL_SPEEDUP_FLOOR,
+        "events_ratio_floor": EVENTS_RATIO_FLOOR,
+    }
+
+
+def merge_json(section: str, payload: dict) -> None:
+    data = {}
+    if OUT_PATH.exists():
+        data = json.loads(OUT_PATH.read_text())
+    data[section] = payload
+    OUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def render(results: dict) -> str:
+    lines = [f"Fluid-plane scalability: {results['n_flows']:,} "
+             "concurrent 64 KB flows over 10 pairs"]
+    for fidelity in ("packet", "fluid"):
+        r = results[fidelity]
+        lines.append(f"  {fidelity:<7} wall {r['wall_seconds']:>8.3f}s  "
+                     f"events {r['events_dispatched']:>12,}  "
+                     f"sim {r['sim_seconds']:>7.3f}s  "
+                     f"goodput {r['goodput_mbps']:>8.2f} Mbps  "
+                     f"completed {r['completed']:,}")
+    lines.append(f"  wall speedup {results['wall_speedup']}x "
+                 f"(floor {WALL_SPEEDUP_FLOOR:.0f}x), "
+                 f"event ratio {results['events_ratio']}x "
+                 f"(floor {EVENTS_RATIO_FLOOR:.0f}x), "
+                 f"goodput delta {results['goodput_rel_delta']:+.2%}")
+    return "\n".join(lines)
+
+
+def check(results: dict) -> bool:
+    ok = True
+    for fidelity in ("packet", "fluid"):
+        if results[fidelity]["completed"] != results["n_flows"]:
+            print(f"FAIL {fidelity}: {results[fidelity]['completed']} of "
+                  f"{results['n_flows']} flows completed")
+            ok = False
+    if results["wall_speedup"] < WALL_SPEEDUP_FLOOR:
+        print(f"FAIL wall speedup {results['wall_speedup']}x "
+              f"< floor {WALL_SPEEDUP_FLOOR:.0f}x")
+        ok = False
+    if results["events_ratio"] < EVENTS_RATIO_FLOOR:
+        print(f"FAIL events ratio {results['events_ratio']}x "
+              f"< floor {EVENTS_RATIO_FLOOR:.0f}x")
+        ok = False
+    return ok
+
+
+def main(argv: list[str]) -> int:
+    results = run_all()
+    merge_json("scale", results)
+    print(render(results))
+    if "--check" in argv:
+        return 0 if check(results) else 1
+    return 0
+
+
+def test_fluid_scale(run_once, emit):
+    """Benchmark-suite entry point: record the runs, enforce the gates."""
+    results = run_once(run_all)
+    merge_json("scale", results)
+    emit(render(results))
+    assert check(results)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -18,7 +18,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.apps.httpd import HTTP_PORT, HttpRequest, HttpResponse
+from repro.apps.httpd import (HTTP_PORT, HttpRequest, HttpResponse,
+                              response_size_for)
 from repro.net.addresses import IPv4Address
 from repro.net.stack import Host
 from repro.net.tcp import ConnectionReset
@@ -68,13 +69,23 @@ class ApacheBench:
 
     def __init__(self, host: Host, server_ip: IPv4Address, path: str = "/file1k",
                  concurrency: int = 1, port: int = HTTP_PORT,
-                 connect_timeout: float = 10.0) -> None:
+                 connect_timeout: float = 10.0, fidelity: str = "packet",
+                 service_time: float = 50e-6, response_path=None) -> None:
+        if fidelity not in ("packet", "fluid"):
+            raise ValueError(f"unknown fidelity {fidelity!r}")
         self.host = host
         self.server_ip = server_ip
         self.path = path
         self.concurrency = concurrency
         self.port = port
         self.connect_timeout = connect_timeout
+        # Fluid mode: no server process; each response is one cold-start
+        # fluid flow. ``response_path`` is the server->client FluidPath;
+        # when None the client->server route is used, which is exact on
+        # the symmetric-capacity topologies the benches build.
+        self.fidelity = fidelity
+        self.service_time = service_time
+        self.response_path = response_path
         self.report = AbReport()
         self._stop = False
 
@@ -113,11 +124,67 @@ class ApacheBench:
         from repro.sim.engine import Interrupt
 
         sim = self.host.sim
+        one = (self._one_request_fluid if self.fidelity == "fluid"
+               else self._one_request)
         try:
             while not self._stop and not (limit and self._done_enough()):
-                yield from self._one_request()
+                yield from one()
         except Interrupt:
             return
+
+    def _one_request_fluid(self):
+        """connect (1 RTT) -> request (RTT/2) -> service -> response
+        (HTTP/1.0: a fresh connection and congestion window per request).
+
+        Small responses are latency-bound, not rate-bound: the cost is
+        the number of slow-start rounds, one RTT each, with round k
+        shipping IW*2^(k-1) bytes. We charge those rounds as explicit
+        timeouts and put only the final round's residual on a ramp-free
+        fluid flow, so it still contends for shared-link capacity. Round
+        counting stops once the doubled window would exceed what the
+        path can carry per RTT — past that point the transfer is
+        rate-bound and the fluid flow models it alone."""
+        from repro.net.fluid import FluidAborted
+        from repro.net.tcp import INITIAL_CWND_SEGMENTS
+
+        sim = self.host.sim
+        fluid = getattr(sim, "fluid", None)
+        if fluid is None:
+            raise RuntimeError("fidelity='fluid' requires a FluidNetwork "
+                               "attached to this simulator")
+        path = self.response_path
+        if path is None:
+            path = fluid.route(self.host.name, self.server_ip)
+        size = response_size_for(self.path)
+        t_start = sim.now
+        yield sim.timeout(path.rtt)            # SYN / SYN-ACK
+        self.report.connect_times.append(sim.now - t_start)
+        yield sim.timeout(path.rtt / 2)        # request reaches the server
+        yield sim.timeout(self.service_time)
+        window = min(self.host.tcp.send_buf, self.host.tcp.recv_buf)
+        per_rtt = min(fluid.path_rate(path) * path.rtt / 8.0, window)
+        sent, cwnd = 0, INITIAL_CWND_SEGMENTS * path.mss
+        rounds = 1
+        while sent + cwnd < size and cwnd < per_rtt:
+            sent += cwnd
+            cwnd *= 2
+            rounds += 1
+        if rounds > 1:
+            yield sim.timeout((rounds - 1) * path.rtt)
+        flow = fluid.open(path=path, size_bytes=size - sent, ramp=False,
+                          send_buf=self.host.tcp.send_buf,
+                          recv_buf=self.host.tcp.recv_buf,
+                          name=f"ab:{self.host.name}")
+        try:
+            yield flow.done
+        except FluidAborted:
+            self.report.requests_failed += 1
+            return
+        finally:
+            flow.close()  # no-op when already done; frees aborted waiters
+        self.report.requests_completed += 1
+        self.report.total_times.append(sim.now - t_start)
+        self.report.completion_stamps.append(sim.now)
 
     def _one_request(self):
         sim = self.host.sim

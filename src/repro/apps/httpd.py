@@ -13,11 +13,25 @@ from dataclasses import dataclass
 
 from repro.net.stack import Host
 
-__all__ = ["HttpRequest", "HttpResponse", "HttpServer"]
+__all__ = ["HttpRequest", "HttpResponse", "HttpServer", "response_size_for"]
 
 HTTP_PORT = 80
 REQUEST_BYTES = 200
 HEADER_BYTES = 250
+
+
+def response_size_for(path: str, files: dict | None = None) -> int:
+    """Wire size (headers + body) of the response :class:`HttpServer`
+    would send for ``path`` — shared with ApacheBench's fluid mode,
+    which sizes response flows without a server process."""
+    if files and path in files:
+        return HEADER_BYTES + files[path]
+    if path.startswith("/file") and path.endswith("k"):
+        try:
+            return HEADER_BYTES + int(path[5:-1]) * 1024
+        except ValueError:
+            pass
+    return HEADER_BYTES + 128  # 404 body
 
 
 @dataclass(frozen=True)

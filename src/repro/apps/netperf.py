@@ -50,10 +50,45 @@ def netserver(host: Host, port: int = NETPERF_PORT):
 
 def netperf_stream(host: Host, dst_ip: IPv4Address,
                    duration: float = 10.0, interval: float = 0.5,
-                   chunk: int = 65536, port: int = NETPERF_PORT):
+                   chunk: int = 65536, port: int = NETPERF_PORT,
+                   fidelity: str = "packet"):
     """Process: TCP_STREAM from ``host`` to a :func:`netserver` at
-    ``dst_ip`` for ``duration`` seconds; returns NetperfResult."""
+    ``dst_ip`` for ``duration`` seconds; returns NetperfResult.
+
+    ``fidelity="fluid"`` runs the stream as one duration-mode fluid flow
+    (no netserver needed); interim rates come from the solver's
+    allocation and land in the same ``<host>.netperf.rate_mbps``
+    series."""
     sim = host.sim
+    if fidelity == "fluid":
+        fluid = getattr(sim, "fluid", None)
+        if fluid is None:
+            raise RuntimeError("fidelity='fluid' requires a FluidNetwork "
+                               "attached to this simulator")
+        path = fluid.route(host.name, dst_ip)
+        yield sim.timeout(path.rtt)  # connection establishment
+        result = NetperfResult(duration, 0)
+        flow = fluid.open(host.name, dst_ip, size_bytes=None,
+                          send_buf=host.tcp.send_buf,
+                          recv_buf=host.tcp.recv_buf,
+                          name=f"netperf:{host.name}")
+        rate_series = sim.metrics.series(f"{host.name}.netperf.rate_mbps")
+        t_end = sim.now + duration
+        last = flow.progress()
+        while sim.now < t_end - 1e-9:
+            step = min(interval, t_end - sim.now)
+            yield sim.timeout(step)
+            got = flow.progress()
+            rate = (got - last) * 8 / 1e6 / step
+            result.times.append(sim.now)
+            result.rates_mbps.append(rate)
+            rate_series.record(rate)
+            last = got
+        flow.close()
+        result.bytes_received = int(flow.delivered)
+        return result
+    if fidelity != "packet":
+        raise ValueError(f"unknown fidelity {fidelity!r}")
     conn = host.tcp.connect(dst_ip, port)
     try:
         yield conn.wait_established()

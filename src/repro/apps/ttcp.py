@@ -44,10 +44,37 @@ def ttcp_receiver(host: Host, port: int = TTCP_PORT):
 
 
 def ttcp_transfer(host: Host, dst_ip: IPv4Address, total_bytes: int,
-                  buf_size: int = 16384, port: int = TTCP_PORT):
+                  buf_size: int = 16384, port: int = TTCP_PORT,
+                  fidelity: str = "packet"):
     """Process: transmit ``total_bytes``; returns TtcpResult (sender side,
-    timed from first write to last byte acknowledged — what ttcp -t reports)."""
+    timed from first write to last byte acknowledged — what ttcp -t reports).
+
+    ``fidelity="fluid"`` runs the same transfer on the flow-level plane
+    (requires a :class:`~repro.net.fluid.FluidNetwork` with a route for
+    ``(host.name, dst_ip)``): no receiver process is needed, and the
+    result carries the solver's completion time instead of per-frame
+    dynamics."""
     sim = host.sim
+    if fidelity == "fluid":
+        fluid = getattr(sim, "fluid", None)
+        if fluid is None:
+            raise RuntimeError("fidelity='fluid' requires a FluidNetwork "
+                               "attached to this simulator")
+        path = fluid.route(host.name, dst_ip)
+        yield sim.timeout(path.rtt)  # SYN / SYN-ACK handshake
+        t0 = sim.now
+        flow = fluid.open(host.name, dst_ip, size_bytes=total_bytes,
+                          send_buf=host.tcp.send_buf,
+                          recv_buf=host.tcp.recv_buf,
+                          name=f"ttcp:{host.name}")
+        yield flow.done
+        # flow.done fires rtt/2 after the last byte leaves the sender
+        # (propagation); ttcp's clock additionally waits for the final
+        # ACK to come back — another half RTT.
+        elapsed = sim.now - t0 + path.rtt / 2
+        return TtcpResult(total_bytes, elapsed)
+    if fidelity != "packet":
+        raise ValueError(f"unknown fidelity {fidelity!r}")
     conn = host.tcp.connect(dst_ip, port)
     yield conn.wait_established()
     t0 = sim.now

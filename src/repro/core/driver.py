@@ -430,6 +430,27 @@ class WavnetDriver(Component):
         """Plug an external L2 port (a VM's vif) into the bridge."""
         patch(port, self.bridge.new_port(f"{self.name}.br0.{label}"))
 
+    def open_transfer(self, dst_ip, nbytes: int, fidelity: str = "packet",
+                      **kwargs):
+        """Process: one bulk transfer to a virtual IP, at either
+        fidelity, behind one API. ``fidelity="packet"`` runs a real ttcp
+        over the tunnel (every frame simulated); ``"fluid"`` rides the
+        flow-level plane (requires a FluidNetwork with a registered
+        route for this host). Returns the app-level TtcpResult."""
+        from repro.apps.ttcp import ttcp_transfer
+
+        result = yield from ttcp_transfer(self.host, dst_ip, nbytes,
+                                          fidelity=fidelity, **kwargs)
+        return result
+
+    def _notify_fluid_conduit(self, peer_name: str, up: bool) -> None:
+        """Tell the fluid plane (if any) that the WAV tunnel between
+        this driver and ``peer_name`` changed state, so fluid flows
+        riding it stall/resume with the tunnel."""
+        fluid = getattr(self.sim, "fluid", None)
+        if fluid is not None:
+            fluid.set_conduit((self.name, peer_name), up)
+
     def _on_captured_frame(self, frame: EthernetFrame) -> None:
         """Frame left the bridge through the tap: tunnel it."""
         sent = False
@@ -504,6 +525,7 @@ class WavnetDriver(Component):
         else:
             self._relay_peers.discard(conn.peer_name)
             self._by_endpoint[conn.remote] = conn
+        self._notify_fluid_conduit(conn.peer_name, up=True)
 
     def _connection_dead(self, conn: WavConnection, reason: str = "closed") -> None:
         self.switch.forget_connection(conn)
@@ -511,6 +533,7 @@ class WavnetDriver(Component):
             del self._by_endpoint[conn.remote]
         if self.connections.get(conn.peer_name) is conn:
             del self.connections[conn.peer_name]
+        self._notify_fluid_conduit(conn.peer_name, up=False)
         if reason == "liveness":
             # Keepalive silence: the peer (or the path) died under us.
             # Punch-timeout deaths are handled by connect()'s relay

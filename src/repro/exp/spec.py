@@ -55,6 +55,7 @@ _SCENARIO_MODULES = (
     "repro.scenarios.emulated",
     "repro.scenarios.planetlab",
     "repro.scenarios.stacks",
+    "repro.scenarios.fluid",
 )
 
 

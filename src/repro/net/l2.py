@@ -227,7 +227,18 @@ class Link(Component):
         self.ba = _Pipe(sim, a, latency, bandwidth_bps, queue_capacity, loss, rng, f"{name}.ba")
         a.connect(self.ab.send)
         b.connect(self.ba.send)
+        self._watchers: list = []
         super().__init__(sim, "link", name)
+
+    def add_watcher(self, fn) -> None:
+        """Subscribe ``fn(link)`` to capacity-affecting changes (admin
+        up/down, reshaping, loss changes). Used by the fluid plane to
+        trigger re-solves; keep callbacks cheap and non-reentrant."""
+        self._watchers.append(fn)
+
+    def _notify_watchers(self) -> None:
+        for fn in self._watchers:
+            fn(self)
 
     @property
     def up(self) -> bool:
@@ -241,18 +252,22 @@ class Link(Component):
 
     def _on_stop(self) -> None:
         self.ab.up = self.ba.up = False
+        self._notify_watchers()
 
     def _on_restore(self) -> None:
         self.ab.up = self.ba.up = True
+        self._notify_watchers()
 
     def set_bandwidth(self, bandwidth_bps: Optional[float]) -> None:
         """``tc``-style reshaping of both directions."""
         self.ab.bandwidth_bps = bandwidth_bps
         self.ba.bandwidth_bps = bandwidth_bps
+        self._notify_watchers()
 
     def set_latency(self, latency: float) -> None:
         self.ab.latency = latency
         self.ba.latency = latency
+        self._notify_watchers()
 
     def set_loss(self, loss: float) -> None:
         """Reconfigure the i.i.d. per-frame drop probability mid-run
@@ -261,6 +276,7 @@ class Link(Component):
             raise ValueError(f"loss must be in [0,1), got {loss}")
         self.ab.loss = loss
         self.ba.loss = loss
+        self._notify_watchers()
 
     @property
     def frames_dropped_down(self) -> int:

@@ -39,6 +39,27 @@ MIN_RTO = 0.2
 MAX_RTO = 60.0
 INITIAL_RTO = 1.0
 
+# -- capacity accounting (shared with the fluid plane, repro.net.fluid) --
+# Wire bytes added per MSS of goodput on a native path: TCP header (20)
+# + IPv4 header (20) + Ethernet header (14) + FCS (4).
+WIRE_OVERHEAD_TCP = 58
+# Initial congestion window, in segments (matches TcpConnection below).
+INITIAL_CWND_SEGMENTS = 3
+
+
+def window_rate_bps(send_buf: int, recv_buf: int, rtt: float) -> float:
+    """Steady-state throughput ceiling from socket buffers: one window
+    per round trip, bounded by the smaller of the two buffers."""
+    return min(send_buf, recv_buf) * 8.0 / rtt
+
+
+def mathis_rate_bps(mss: int, rtt: float, loss: float) -> float:
+    """Mathis et al. steady-state TCP throughput under i.i.d. loss
+    ``p``: rate = (MSS/RTT) * C/sqrt(p), C ≈ 1.22."""
+    if loss <= 0.0:
+        return float("inf")
+    return mss * 8.0 * 1.22 / (rtt * (loss ** 0.5))
+
 
 class ConnectionReset(Exception):
     """Raised to waiters when the peer resets or the connection aborts."""
@@ -104,7 +125,7 @@ class TcpConnection:
         if cc not in ("reno", "cubic"):
             raise ValueError(f"unknown congestion control {cc!r}")
         self.cc = cc
-        self.cwnd = 3 * mss
+        self.cwnd = INITIAL_CWND_SEGMENTS * mss
         # Initial ssthresh is effectively unbounded (as in Linux): slow
         # start runs until the first loss or the receiver window binds.
         self.ssthresh = 1 << 30

@@ -39,6 +39,16 @@ class WanCloud:
         # Inter-site partitions: ordered pairs whose frames are dropped.
         self._partitioned: set[tuple[str, str]] = set()
         self.frames_partitioned = 0
+        self._watchers: list = []
+
+    def add_watcher(self, fn) -> None:
+        """Subscribe ``fn(cloud)`` to partition/heal changes (fluid-plane
+        re-solve hook)."""
+        self._watchers.append(fn)
+
+    def _notify_watchers(self) -> None:
+        for fn in self._watchers:
+            fn(self)
 
     # -- topology -----------------------------------------------------------
     def attach(self, site: str) -> Port:
@@ -83,6 +93,7 @@ class WanCloud:
                     self._partitioned.add((b, a))
         self.sim.trace.event("fault.partition", cloud=self.name,
                              a=sorted(group_a), b=sorted(group_b))
+        self._notify_watchers()
 
     def heal(self, group_a=None, group_b=None) -> None:
         """Remove a specific partition, or all of them when called with
@@ -95,6 +106,7 @@ class WanCloud:
                     self._partitioned.discard((a, b))
                     self._partitioned.discard((b, a))
         self.sim.trace.event("fault.heal", cloud=self.name)
+        self._notify_watchers()
 
     def partitioned(self, a: str, b: str) -> bool:
         return (a, b) in self._partitioned

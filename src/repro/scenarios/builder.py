@@ -35,6 +35,7 @@ def make_public_host(
     network: str = "8.0.0.0/8",
     access_latency: float = 0.0005,
     access_bandwidth_bps: Optional[float] = 1e9,
+    queue_capacity: int = 128,
     **stack_kwargs,
 ) -> Host:
     """A host with a public address attached directly to the WAN cloud
@@ -44,7 +45,8 @@ def make_public_host(
     host.stack.connected_route_for(iface)
     host.stack.add_route("0.0.0.0/0", iface)
     Link(sim, iface.port, cloud.attach(name), latency=access_latency,
-         bandwidth_bps=access_bandwidth_bps, name=f"{name}.access")
+         bandwidth_bps=access_bandwidth_bps, queue_capacity=queue_capacity,
+         name=f"{name}.access")
     return host
 
 

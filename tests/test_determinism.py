@@ -130,3 +130,57 @@ def test_fault_schedule_run_twice_identical():
     assert metrics["faults.injected.crash"]["value"] >= 2
     assert any(k.endswith("driver.repair.success") for k in metrics)
     assert "conn.repaired" in r1["trace"]
+
+
+def _run_hybrid_fluid_once():
+    """Mixed fluid+packet traffic under a fault schedule: a fluid bulk
+    flow and a packet ttcp transfer share one access link (hybrid
+    utilization subtraction in play) while a link flap and a WAN
+    partition stall/resume the fluid flows mid-run."""
+    from repro.apps.ttcp import ttcp_receiver, ttcp_transfer
+    from repro.faults.injector import FaultInjector
+    from repro.scenarios.fluid import _find_link, fluidify
+    from repro.scenarios.stacks import physical_pair
+
+    pair = physical_pair(0.010, 100e6, seed=29)
+    sim = pair.sim
+    net = fluidify(pair, refresh_interval=0.1)
+    inject = FaultInjector(sim)
+    sim.process(ttcp_receiver(pair.host_b))
+
+    flow = net.open(pair.host_a.name, pair.ip_b, size_bytes=24 * 1024 * 1024)
+    sim.call_in(0.2, lambda: sim.process(
+        ttcp_transfer(pair.host_a, pair.ip_b, 4 * 1024 * 1024)))
+    sim.call_in(0.5, lambda: inject.link_flap(
+        _find_link(sim, "pb.access"), down_for=0.3))
+    sim.call_in(1.4, lambda: inject.partition(
+        pair.cloud, ["pa"], ["pb"], duration=0.2))
+    sim.run(until=flow.done)
+    return {
+        "events": sim.events_dispatched,
+        "now": sim.now,
+        "delivered": flow.delivered,
+        "metrics": json.dumps(sim.metrics.snapshot(), sort_keys=True,
+                              default=str),
+        "trace": sim.trace.to_jsonl(),
+    }
+
+
+def test_hybrid_fluid_packet_run_twice_identical():
+    """The fluid plane must not break run-twice determinism: solver
+    passes, hybrid utilization sampling, stall/resume timers, and
+    completion events all replay exactly."""
+    r1 = _run_hybrid_fluid_once()
+    r2 = _run_hybrid_fluid_once()
+    assert r1["events"] == r2["events"]
+    assert r1["now"] == r2["now"]
+    assert r1["delivered"] == r2["delivered"]
+    assert r1["metrics"] == r2["metrics"]
+    assert r1["trace"] == r2["trace"]
+    # Sanity: both planes and both faults actually fired.
+    metrics = json.loads(r1["metrics"])
+    assert metrics["fluid.flows.completed"]["value"] == 1
+    assert metrics["fluid.flows.stalls"]["value"] >= 2
+    assert metrics["faults.injected.link_flap"]["value"] == 1
+    assert metrics["faults.injected.partition"]["value"] == 1
+    assert "fluid.stall" in r1["trace"] and "fluid.resume" in r1["trace"]

@@ -1,0 +1,229 @@
+"""Fluid data plane integration: apps, faults, hybrid sharing.
+
+`tests/test_fluid_solver.py` checks the waterfill math on synthetic
+graphs; this file checks the plane end-to-end over the real stack
+topologies — app fluid modes agree with the packet plane, fault verbs
+stall/resume/abort flows through the watcher hooks, and packet traffic
+steals capacity from fluid flows on shared links.
+"""
+
+import math
+
+import pytest
+
+from repro.apps.ab import ApacheBench
+from repro.apps.httpd import HttpServer
+from repro.apps.netperf import netperf_stream, netserver
+from repro.apps.ttcp import ttcp_receiver, ttcp_transfer
+from repro.faults.injector import FaultInjector
+from repro.net.fluid import FluidAborted
+from repro.scenarios.fluid import _find_link, fluidify
+from repro.scenarios.stacks import physical_pair, wavnet_pair
+
+MB = 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# App fluid modes vs the packet plane
+# ----------------------------------------------------------------------
+
+def _run_ttcp(pair, nbytes, fidelity):
+    if fidelity == "fluid":
+        fluidify(pair)
+    else:
+        pair.sim.process(ttcp_receiver(pair.host_b))
+    proc = pair.sim.process(ttcp_transfer(pair.host_a, pair.ip_b, nbytes,
+                                          fidelity=fidelity))
+    pair.sim.run(until=proc)
+    return proc.value, pair.sim.events_dispatched
+
+
+def test_ttcp_fluid_matches_packet_physical():
+    res_p, ev_p = _run_ttcp(physical_pair(0.010, 100e6, seed=1), 8 * MB, "packet")
+    res_f, ev_f = _run_ttcp(physical_pair(0.010, 100e6, seed=1), 8 * MB, "fluid")
+    assert res_f.elapsed == pytest.approx(res_p.elapsed, rel=0.10)
+    # The point of the fluid plane: orders of magnitude fewer events.
+    assert ev_f * 100 < ev_p
+
+
+def test_netperf_fluid_matches_packet_wavnet():
+    # Tuned buffers (~BDP + half the bottleneck queue) keep the packet
+    # plane in its clean steady state — see DESIGN.md §12 on when the
+    # fluid model applies.
+    results = {}
+    for fidelity in ("packet", "fluid"):
+        pair = wavnet_pair(0.010, 50e6, seed=2,
+                           send_buf=150000, recv_buf=150000)
+        if fidelity == "fluid":
+            fluidify(pair)
+        else:
+            pair.sim.process(netserver(pair.host_b))
+        proc = pair.sim.process(netperf_stream(pair.host_a, pair.ip_b,
+                                               duration=2.0, fidelity=fidelity))
+        pair.sim.run(until=proc)
+        results[fidelity] = proc.value.throughput_mbps
+    assert results["fluid"] == pytest.approx(results["packet"], rel=0.10)
+
+
+def test_ab_fluid_matches_packet_wavnet():
+    rps = {}
+    for fidelity in ("packet", "fluid"):
+        pair = wavnet_pair(0.050, 20e6, seed=2)
+        if fidelity == "fluid":
+            net = fluidify(pair)
+        else:
+            HttpServer(pair.host_b)
+        ab = ApacheBench(pair.host_a, pair.ip_b, path="/file8k",
+                         concurrency=4, fidelity=fidelity)
+        proc = pair.sim.process(ab.run_requests(24))
+        pair.sim.run(until=proc)
+        report = proc.value
+        # Workers already in flight when the target is hit still finish,
+        # so the count can overshoot by up to concurrency-1 (ab -n style).
+        assert 24 <= report.requests_completed < 24 + 4
+        assert report.requests_failed == 0
+        rps[fidelity] = report.requests_per_second
+        if fidelity == "fluid":
+            # Each request's connect is one path RTT on the fluid model.
+            rtt = net.route(pair.host_a.name, pair.ip_b).rtt
+            mean_connect = sum(report.connect_times) / len(report.connect_times)
+            assert mean_connect == pytest.approx(rtt, rel=0.01)
+    assert rps["fluid"] == pytest.approx(rps["packet"], rel=0.25)
+
+
+def test_driver_open_transfer_one_api():
+    """The driver front door runs either fidelity behind one call."""
+    elapsed = {}
+    for fidelity in ("packet", "fluid"):
+        pair = wavnet_pair(0.020, 50e6, seed=2)
+        if fidelity == "fluid":
+            fluidify(pair)
+        else:
+            pair.sim.process(ttcp_receiver(pair.host_b))
+        driver = pair.env.hosts["wa"].driver
+        proc = pair.sim.process(
+            driver.open_transfer(pair.ip_b, MB, fidelity=fidelity))
+        pair.sim.run(until=proc)
+        elapsed[fidelity] = proc.value.elapsed
+    assert elapsed["fluid"] == pytest.approx(elapsed["packet"], rel=0.15)
+
+
+# ----------------------------------------------------------------------
+# Faults: stall / resume / abort through the injector verbs
+# ----------------------------------------------------------------------
+
+def test_link_flap_stalls_and_resumes():
+    pair = physical_pair(0.010, 100e6, seed=1)
+    sim = pair.sim
+    net = fluidify(pair)
+    inject = FaultInjector(sim)
+    flow = net.open(pair.host_a.name, pair.ip_b, size_bytes=8 * MB)
+    sim.call_in(0.2, lambda: inject.link_flap(_find_link(sim, "pa.access"),
+                                              down_for=0.4))
+    sim.run(until=flow.done)
+    # ~0.7 s of transfer + 0.4 s of outage.
+    assert sim.now > 1.0
+    assert flow.state == "done"
+    assert pair.metrics.value("fluid.flows.stalls") == 1
+    assert pair.trace.find(name="fluid.stall")
+    assert pair.trace.find(name="fluid.resume")
+    # Stalled time must not be billed as delivery.
+    assert flow.delivered == 8 * MB
+
+
+def test_partition_stalls_and_heal_resumes():
+    pair = wavnet_pair(0.010, 100e6, seed=2)
+    sim = pair.sim
+    net = fluidify(pair)
+    inject = FaultInjector(sim)
+    flow = net.open(pair.host_a.name, pair.ip_b, size_bytes=8 * MB)
+    sim.call_in(0.2, lambda: inject.partition(pair.cloud, ["wa"], ["wb"],
+                                              duration=0.5))
+    sim.run(until=flow.done)
+    assert sim.now > 1.0
+    assert flow.state == "done"
+    stall = pair.trace.find(name="fluid.stall")[0]
+    assert stall["attrs"]["reason"] == "partitioned"
+
+
+def test_conduit_down_stalls_wavnet_flow():
+    pair = wavnet_pair(0.010, 100e6, seed=2)
+    sim = pair.sim
+    net = fluidify(pair)
+    key = net.conduit_key("wa", "wb")
+    flow = net.open(pair.host_a.name, pair.ip_b, size_bytes=8 * MB)
+    sim.call_in(0.2, lambda: net.set_conduit(key, False))
+    sim.call_in(0.7, lambda: net.set_conduit(key, True))
+    sim.run(until=flow.done)
+    assert sim.now > 1.0 and flow.state == "done"
+    stall = pair.trace.find(name="fluid.stall")[0]
+    assert stall["attrs"]["reason"] == "tunnel_down:wa-wb"
+
+
+def test_stall_timeout_aborts_flow():
+    pair = physical_pair(0.010, 100e6, seed=1)
+    sim = pair.sim
+    net = fluidify(pair, stall_timeout=0.5)
+    inject = FaultInjector(sim)
+    flow = net.open(pair.host_a.name, pair.ip_b, size_bytes=8 * MB)
+    sim.call_in(0.2, lambda: inject.link_down(_find_link(sim, "pa.access")))
+    with pytest.raises(FluidAborted):
+        sim.run(until=flow.done)
+    assert flow.state == "aborted"
+    assert sim.now == pytest.approx(0.7, abs=0.01)
+    assert pair.metrics.value("fluid.flows.aborted") == 1
+    assert 0 < flow.delivered < 8 * MB
+
+
+def test_loss_burst_engages_mathis_cap():
+    pair = physical_pair(0.010, 100e6, seed=1)
+    sim = pair.sim
+    net = fluidify(pair)
+    inject = FaultInjector(sim)
+    flow = net.open(pair.host_a.name, pair.ip_b, size_bytes=None)
+    rates = {}
+    link = _find_link(sim, "pa.access")
+
+    def burst():
+        rates["before"] = flow.rate
+        inject.loss_burst(link, 0.02, duration=0.5)
+
+    sim.call_in(0.3, burst)
+    sim.call_in(0.6, lambda: rates.__setitem__("during", flow.rate))
+    sim.call_in(1.2, lambda: rates.__setitem__("after", flow.rate))
+    sim.run(until=1.3)
+    # The flow's path crosses the forward direction of the link only, so
+    # the Mathis cap sees the burst's 2% loss directly (ACK-path loss is
+    # not modelled, matching the solver's per-direction loss accounting).
+    path = net.route(pair.host_a.name, pair.ip_b)
+    expect = 1460 * 8 * 1.22 / (path.rtt * math.sqrt(0.02))
+    assert rates["during"] == pytest.approx(expect, rel=0.01)
+    assert rates["during"] < rates["before"] / 2
+    assert rates["after"] == pytest.approx(rates["before"], rel=0.01)
+    flow.close()
+
+
+# ----------------------------------------------------------------------
+# Hybrid capacity sharing
+# ----------------------------------------------------------------------
+
+def test_packet_traffic_steals_fluid_capacity():
+    """A packet-mode transfer on the shared access link must squeeze a
+    concurrent fluid flow (measured-utilization subtraction), and the
+    fluid flow must recover once the packet flow drains."""
+    pair = physical_pair(0.010, 100e6, seed=1)
+    sim = pair.sim
+    net = fluidify(pair, refresh_interval=0.1)
+    sim.process(ttcp_receiver(pair.host_b))
+    flow = net.open(pair.host_a.name, pair.ip_b, size_bytes=None)
+    samples = {}
+    sim.call_in(0.5, lambda: samples.__setitem__("alone", flow.rate))
+    sim.call_in(0.6, lambda: sim.process(
+        ttcp_transfer(pair.host_a, pair.ip_b, 8 * MB)))
+    sim.call_in(1.2, lambda: samples.__setitem__("contended", flow.rate))
+    sim.run(until=3.5)
+    samples["recovered"] = flow.rate
+    assert samples["alone"] > 90e6
+    assert samples["contended"] < 0.5 * samples["alone"]
+    assert samples["recovered"] > 0.8 * samples["alone"]
+    flow.close()

@@ -1,0 +1,224 @@
+"""Max-min fair-share solver: hand-computed allocations + properties.
+
+These tests drive :class:`FluidNetwork.solve_now` directly over
+standalone (pipe-less) FluidLinks with ramping disabled, so every
+allocation is a pure waterfill answer that can be checked by hand.
+"""
+
+import math
+
+import pytest
+
+from repro.net.fluid import FluidLink, FluidNetwork, FluidPath
+from repro.sim.engine import Simulator
+
+RTT = 0.01
+# Big buffers so the window cap (min_buf*8/rtt) sits far above the link
+# capacities used here and never binds unless a test wants it to.
+BIG = dict(send_buf=1 << 24, recv_buf=1 << 24)
+
+
+def make_net(**kw):
+    sim = Simulator(seed=1)
+    return sim, FluidNetwork(sim, refresh_interval=0.0, **kw)
+
+
+def path_over(*links, rtt=RTT, factor=1.0):
+    return FluidPath(links=tuple((l, factor) for l in links), rtt=rtt)
+
+
+def open_flows(net, paths, **kw):
+    flows = [net.open(path=p, size_bytes=None, ramp=False, **{**BIG, **kw})
+             for p in paths]
+    net.solve_now()
+    return flows
+
+
+def test_single_link_equal_share():
+    _sim, net = make_net()
+    link = FluidLink("l0", capacity_bps=30e6)
+    flows = open_flows(net, [path_over(link)] * 3)
+    for f in flows:
+        assert f.rate == pytest.approx(10e6)
+
+
+def test_shared_bottleneck_with_cap():
+    """Three flows on a 30 Mbps link, one capped at 4 Mbps by its
+    receive window: capped flow gets 4, the others split the rest."""
+    sim, net = make_net()
+    link = FluidLink("l0", capacity_bps=30e6)
+    # window cap = min_buf * 8 / rtt = 4 Mbps
+    capped = net.open(path=path_over(link), size_bytes=None, ramp=False,
+                      send_buf=5000, recv_buf=5000)
+    others = [net.open(path=path_over(link), size_bytes=None, ramp=False,
+                       **BIG) for _ in range(2)]
+    net.solve_now()
+    assert capped.rate == pytest.approx(4e6)
+    for f in others:
+        assert f.rate == pytest.approx(13e6)
+
+
+def test_parking_lot():
+    """Classic parking lot: one long flow crosses links A-B-C (10 Mbps
+    each); each link also carries one local flow. Max-min: every link
+    splits 5/5 — the long flow gets 5, each local flow gets 5."""
+    _sim, net = make_net()
+    links = [FluidLink(f"l{i}", capacity_bps=10e6) for i in range(3)]
+    long_flow = path_over(*links)
+    locals_ = [path_over(l) for l in links]
+    flows = open_flows(net, [long_flow] + locals_)
+    for f in flows:
+        assert f.rate == pytest.approx(5e6)
+
+
+def test_parking_lot_asymmetric():
+    """Narrow middle link: long flow crosses 10-2-10; locals on the
+    edges. Long flow pinned to 2 by the middle; edge locals soak up the
+    remaining 8."""
+    _sim, net = make_net()
+    a = FluidLink("a", capacity_bps=10e6)
+    mid = FluidLink("mid", capacity_bps=2e6)
+    c = FluidLink("c", capacity_bps=10e6)
+    flows = open_flows(net, [path_over(a, mid, c), path_over(a), path_over(c)])
+    assert flows[0].rate == pytest.approx(2e6)
+    assert flows[1].rate == pytest.approx(8e6)
+    assert flows[2].rate == pytest.approx(8e6)
+
+
+def test_heterogeneous_factors():
+    """Overhead-weighted max-min: a flow consuming 2 wire-bits per
+    goodput bit and a factor-1 flow share a 30 Mbps link. Progressive
+    filling raises goodput together, so the link binds at g*(2+1)=30."""
+    _sim, net = make_net()
+    link = FluidLink("l0", capacity_bps=30e6)
+    heavy = net.open(path=FluidPath(links=((link, 2.0),), rtt=RTT),
+                     size_bytes=None, ramp=False, **BIG)
+    light = net.open(path=FluidPath(links=((link, 1.0),), rtt=RTT),
+                     size_bytes=None, ramp=False, **BIG)
+    net.solve_now()
+    assert heavy.rate == pytest.approx(10e6)
+    assert light.rate == pytest.approx(10e6)
+    # Wire accounting: 2*10 + 1*10 = 30 Mbps — the link is exactly full.
+    assert heavy.rate * 2 + light.rate == pytest.approx(30e6)
+
+
+def test_cpu_style_link_caps_goodput():
+    """An IPOP-style CPU link (capacity 1 cpu-sec/sec, factor in
+    seconds-per-bit) caps goodput at 1/factor regardless of wire room."""
+    _sim, net = make_net()
+    wire = FluidLink("wire", capacity_bps=100e6)
+    cpu = FluidLink("cpu", capacity_bps=1.0, kind="cpu")
+    cpu_factor = 575e-6 / (1460 * 8)  # 575 us of CPU per MSS
+    flow = net.open(path=FluidPath(links=((wire, 1.0), (cpu, cpu_factor)),
+                                   rtt=RTT),
+                    size_bytes=None, ramp=False, **BIG)
+    net.solve_now()
+    assert flow.rate == pytest.approx(1460 * 8 / 575e-6)
+
+
+def test_rates_track_departures():
+    _sim, net = make_net()
+    link = FluidLink("l0", capacity_bps=30e6)
+    flows = open_flows(net, [path_over(link)] * 3)
+    flows[0].close()
+    net.solve_now()
+    for f in flows[1:]:
+        assert f.rate == pytest.approx(15e6)
+
+
+def test_mathis_cap_engages_on_loss():
+    _sim, net = make_net()
+    link = FluidLink("l0", capacity_bps=100e6)
+    link.loss = 0.01
+    flow = net.open(path=path_over(link), size_bytes=None, ramp=False, **BIG)
+    net.solve_now()
+    expect = 1460 * 8 * 1.22 / (RTT * math.sqrt(0.01))
+    assert flow.rate == pytest.approx(expect)
+
+
+def _allocation_is_feasible(flows, links, util_floor=0.01):
+    for link in links:
+        used = 0.0
+        for f, path in flows:
+            for l, factor in path.links:
+                if l is link:
+                    used += f.rate * factor
+        assert used <= link.available(util_floor) * (1 + 1e-6) + 1e-3
+
+
+def _allocation_is_max_min(flows, links, util_floor=0.01):
+    """Every flow is either at its cap or bottlenecked on a saturated
+    link where no co-user gets a strictly higher rate — the classic
+    max-min optimality certificate."""
+    for f, path in flows:
+        if f.rate >= f.cap_bps() * (1 - 1e-6):
+            continue
+        certified = False
+        for link, _factor in path.links:
+            used = sum(g.rate * fac for g, p in flows
+                       for l, fac in p.links if l is link)
+            avail = link.available(util_floor)
+            if not math.isfinite(avail) or used < avail * (1 - 1e-6):
+                continue  # not saturated
+            co_rates = [g.rate for g, p in flows
+                        if any(l is link for l, _ in p.links)]
+            if all(f.rate >= r * (1 - 1e-6) or r <= 0 for r in co_rates):
+                certified = True
+                break
+        assert certified, f"flow {f.name} below cap with no bottleneck"
+
+
+def test_property_random_topologies():
+    """Randomized feasibility + max-min optimality over many topologies
+    (seeded RNG: deterministic, no hypothesis dependency needed)."""
+    import random
+
+    rng = random.Random(20260808)
+    for trial in range(40):
+        _sim, net = make_net()
+        n_links = rng.randint(1, 6)
+        links = [FluidLink(f"l{i}", capacity_bps=rng.uniform(1e6, 100e6))
+                 for i in range(n_links)]
+        n_flows = rng.randint(1, 12)
+        flows = []
+        for j in range(n_flows):
+            k = rng.randint(1, n_links)
+            chosen = rng.sample(links, k)
+            factor = rng.choice([1.0, 1.04, 1.2, 2.0])
+            path = FluidPath(links=tuple((l, factor) for l in chosen),
+                             rtt=rng.choice([0.001, 0.01, 0.1]))
+            buf = rng.choice([4096, 65536, 1 << 22])
+            flows.append((net.open(path=path, size_bytes=None, ramp=False,
+                                   send_buf=buf, recv_buf=buf), path))
+        net.solve_now()
+        _allocation_is_feasible(flows, links)
+        _allocation_is_max_min(flows, links)
+
+
+def test_property_with_hypothesis():
+    """Same properties under hypothesis, when available."""
+    hyp = pytest.importorskip("hypothesis")
+    st = pytest.importorskip("hypothesis.strategies")
+
+    @hyp.given(
+        caps=st.lists(st.floats(1e5, 1e9), min_size=1, max_size=4),
+        flow_links=st.lists(st.lists(st.integers(0, 3), min_size=1,
+                                     max_size=4),
+                            min_size=1, max_size=8),
+    )
+    @hyp.settings(max_examples=60, deadline=None)
+    def run(caps, flow_links):
+        _sim, net = make_net()
+        links = [FluidLink(f"l{i}", capacity_bps=c)
+                 for i, c in enumerate(caps)]
+        flows = []
+        for idxs in flow_links:
+            chosen = list({links[i % len(links)] for i in idxs})
+            path = FluidPath(links=tuple((l, 1.0) for l in chosen), rtt=0.01)
+            flows.append((net.open(path=path, size_bytes=None, ramp=False,
+                                   **BIG), path))
+        net.solve_now()
+        _allocation_is_feasible(flows, links)
+        _allocation_is_max_min(flows, links)
+
+    run()
