@@ -82,6 +82,7 @@ class WavnetDriver(Component):
         repair_backoff_cap: float = 30.0,
         repair_jitter: float = 0.3,
         upgrade_interval: float = 30.0,
+        retry_concurrency: Optional[int] = None,
     ) -> None:
         self.host = host
         self.sim = host.sim
@@ -156,7 +157,8 @@ class WavnetDriver(Component):
         # --- control plane ---
         self._wav_port = wav_port
         self.sock = host.udp.bind(wav_port)
-        self.rpc = RpcEndpoint(host.stack, self.sock, name=f"wav:{self.name}", own_loop=False)
+        self.rpc = RpcEndpoint(host.stack, self.sock, name=f"wav:{self.name}",
+                               own_loop=False, retry_concurrency=retry_concurrency)
         self.rpc.register("wav.punch", self._on_punch_notice)
         self.connections: dict[str, WavConnection] = {}
         self._by_endpoint: dict[tuple[IPv4Address, int], WavConnection] = {}
@@ -591,6 +593,24 @@ class WavnetDriver(Component):
             return
         finally:
             self._repairing.pop(peer_name, None)
+
+    # -- lazy materialization support -----------------------------------
+    def export_endpoint_state(self) -> dict:
+        """Snapshot the control-plane facts worth folding back into a
+        :class:`~repro.core.hoststate.HostTable` row when this host is
+        demoted: everything here is re-derivable through the normal
+        protocols (STUN, registration) on re-materialization, but
+        keeping it lets the directory keep answering queries about the
+        endpoint while it has no object stack."""
+        pub = self.public_endpoint or (self.host.stack.ips[0], self.sock.port)
+        return {
+            "nat_type": (self.nat_type or NatType.OPEN).value,
+            "public_ip": str(pub[0]),
+            "public_port": int(pub[1]),
+            "virtual_ip": str(self.virtual_ip),
+            "attrs": dict(self.attrs),
+            "relay_peers": sorted(self._relay_peers),
+        }
 
     # -- distance reporting (feeds the grouping strategy) ---------------------
     def report_latencies(self, rtts: dict[str, float]):

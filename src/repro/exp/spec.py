@@ -56,6 +56,7 @@ _SCENARIO_MODULES = (
     "repro.scenarios.planetlab",
     "repro.scenarios.stacks",
     "repro.scenarios.fluid",
+    "repro.scenarios.storm",
 )
 
 

@@ -90,6 +90,59 @@ class FaultInjector:
         self._note("nat_reboot", nat=nat.name)
         nat.reboot()
 
+    # -- table-resident endpoint faults ---------------------------------
+    # Churn at 10^5-10^6 endpoints operates on HostTable rows directly:
+    # no object stack is materialized just to kill an idle endpoint.
+    def endpoint_down(self, table, names) -> int:
+        """Endpoints go dark: registrations drop immediately (their rows
+        and directory state survive, so a later reconnect needs no side
+        channel). Materialized hosts are crashed through their driver
+        component instead, so both representations get one verb."""
+        names = [names] if isinstance(names, str) else list(names)
+        table_names = []
+        for name in names:
+            host_id = table.lookup(name)
+            if host_id >= 0 and host_id in table.active:
+                stack = table.active[host_id]
+                self.crash(stack.driver.component_id)
+            else:
+                table_names.append(name)
+        downed = table.mark_down(table_names)
+        self._note("endpoint_down", count=len(names), table_resident=downed)
+        return downed + (len(names) - len(table_names))
+
+    def endpoint_reconnect(self, table, names, owner: int = -1,
+                           region: int = -1) -> int:
+        """Table-resident endpoints re-register from their surviving row
+        state (the storm scenario drives real re-registration RPCs; this
+        verb is the cheap local flavor for schedules that only need the
+        directory effect)."""
+        names = [names] if isinstance(names, str) else list(names)
+        count = 0
+        now = self.sim.now
+        for name in names:
+            host_id = table.lookup(name)
+            if host_id < 0:
+                continue
+            table.flags[host_id] |= 1  # FLAG_REGISTERED
+            table.generation[host_id] += 1
+            table.owner[host_id] = owner
+            if region >= 0:
+                table.region[host_id] = region
+            table.last_seen[host_id] = now
+            count += 1
+        self._note("endpoint_reconnect", count=count)
+        return count
+
+    def regional_outage(self, table, region: int) -> list:
+        """Every registered endpoint in a region goes dark at once — the
+        precursor to a mass-reconnect registration storm. Returns the
+        affected names (the storm re-registers exactly these)."""
+        names = table.names_in_region(region)
+        self.endpoint_down(table, names)
+        self._note("regional_outage", region=region, endpoints=len(names))
+        return names
+
 
 class _RestoreLoss:
     __slots__ = ("link", "loss")

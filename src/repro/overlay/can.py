@@ -40,6 +40,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+import numpy as np
+
 from repro.net.addresses import IPv4Address
 from repro.overlay.resources import ResourceRecord
 from repro.overlay.rpc import RpcEndpoint, RpcError, RpcTimeout
@@ -70,10 +72,28 @@ class _JoinGrant:
     zone: Zone
     records: tuple
     neighbors: tuple  # NeighborInfo snapshots
+    handles: tuple = ()  # HostTable handles whose points fall in the zone
 
     @property
     def size(self) -> int:
-        return 64 + sum(r.size for r in self.records) + sum(n.size for n in self.neighbors)
+        return (64 + sum(r.size for r in self.records)
+                + sum(n.size for n in self.neighbors) + 8 * len(self.handles))
+
+
+@dataclass(frozen=True)
+class _ShedPayload:
+    """Hot-zone split handoff: half a zone plus the directory entries
+    (full records and table handles) that fall in it."""
+
+    shedder: NeighborInfo
+    zone: Zone
+    records: tuple
+    handles: tuple
+
+    @property
+    def size(self) -> int:
+        return (48 + self.shedder.size + sum(r.size for r in self.records)
+                + 8 * len(self.handles))
 
 
 @dataclass(frozen=True)
@@ -103,7 +123,10 @@ class CanNode(Component):
 
     def __init__(self, host, dims: int = 2, port: int = CAN_PORT,
                  node_id: Optional[str] = None,
-                 ping_interval: float = 10.0, record_ttl: float = 120.0) -> None:
+                 ping_interval: float = 10.0, record_ttl: float = 120.0,
+                 table=None, replication_factor: Optional[int] = None,
+                 hot_zone_limit: Optional[int] = None,
+                 retry_concurrency: Optional[int] = None) -> None:
         self.host = host
         self.sim = host.sim
         self.node_id = node_id or host.name
@@ -118,9 +141,25 @@ class CanNode(Component):
         self.record_ttl = record_ttl
         self.joined = False
         self.routed_ops = 0
+        # Shared HostTable (fleet deployments): directory entries for
+        # table-registered endpoints are stored as generation-checked
+        # *handles* instead of full ResourceRecord copies.
+        self.table = table
+        self.handles: set[int] = set()
+        # None = replicate every stored record to every neighbor (the
+        # original small-overlay behavior); an int caps the copies.
+        self.replication_factor = replication_factor
+        # When set, a zone holding more than this many directory entries
+        # is split and half is handed to an abutting neighbor. The scan
+        # is throttled: re-checked only after the handle store grows by
+        # a quarter of the limit since the last scan (``_split_mark``),
+        # so storm-scale batch inserts don't pay a per-batch zone sweep.
+        self.hot_zone_limit = hot_zone_limit
+        self._split_mark = -1
         # Replicas of records owned by other nodes, keyed by owner id —
         # promoted into ``records`` if that owner dies ungracefully.
         self.replicas: dict[str, dict[str, ResourceRecord]] = {}
+        self.handle_replicas: dict[str, set[int]] = {}
         # Peer addresses learned over time; survives a crash the way an
         # on-disk peer cache would, so a restored node can rejoin.
         self._known_peers: dict[str, tuple[IPv4Address, int]] = {}
@@ -128,13 +167,20 @@ class CanNode(Component):
         self._m_takeovers = self.metrics.counter("takeovers")
         self._m_deaths = self.metrics.counter("deaths_detected")
         self._m_replicas = self.metrics.counter("replicas.stored")
-        self.rpc = RpcEndpoint(host.stack, host.udp.bind(port), name=f"can:{self.node_id}")
+        self._m_splits = self.metrics.counter("splits")
+        self._m_merges = self.metrics.counter("merges")
+        self._m_handles = self.metrics.counter("handles.stored")
+        self.rpc = RpcEndpoint(host.stack, host.udp.bind(port),
+                               name=f"can:{self.node_id}",
+                               retry_concurrency=retry_concurrency)
         self.rpc.register("can.route", self._on_route)
         self.rpc.register("can.nbr", self._on_neighbor)
         self.rpc.register("can.leave", self._on_leave)
         self.rpc.register("can.ping", self._on_ping)
         self.rpc.register("can.dead", self._on_dead)
         self.rpc.register("can.replica", self._on_replica)
+        self.rpc.register("can.replica_ids", self._on_replica_ids)
+        self.rpc.register("can.shed", self._on_shed)
         self._pinger = None
         self._probing: set[str] = set()
 
@@ -150,8 +196,11 @@ class CanNode(Component):
         self.zones = []
         self.records.clear()
         self.replicas.clear()
+        self.handles.clear()
+        self.handle_replicas.clear()
         self.neighbors.clear()
         self._probing.clear()
+        self._split_mark = -1
 
     def _on_restore(self) -> None:
         self.rpc.rebind(self.host.udp.bind(self.port))
@@ -188,6 +237,7 @@ class CanNode(Component):
         self.zones = [grant.zone]
         for record in grant.records:
             self.records[record.host_name] = record
+        self.handles.update(grant.handles)
         for info in grant.neighbors:
             if info.node_id != self.node_id:
                 self.neighbors[info.node_id] = info
@@ -208,10 +258,12 @@ class CanNode(Component):
             yield from self.rpc.call(
                 target.ip, target.port, "can.leave",
                 _LeavePayload(self._my_info(), tuple(self.zones),
-                              tuple(self.records.values())), timeout=5.0)
+                              tuple(self.records.values()),
+                              tuple(sorted(self.handles))), timeout=5.0)
         self.joined = False
         self.zones = []
         self.records.clear()
+        self.handles.clear()
         if self._pinger is not None and self._pinger.is_alive:
             self._pinger.interrupt("leaving")
         return None
@@ -279,6 +331,19 @@ class CanNode(Component):
         for owner, reps in self.replicas.items():
             for name in [n for n, r in reps.items() if r.expired(now)]:
                 del reps[name]
+        self._prune_handles()
+
+    def _prune_handles(self) -> None:
+        """Drop handles whose table row was unregistered or re-registered
+        (generation bump) — one vectorized validity mask per store."""
+        if self.table is None:
+            return
+        for store in [self.handles, *self.handle_replicas.values()]:
+            if not store:
+                continue
+            arr = np.fromiter(store, dtype=np.int64, count=len(store))
+            stale = arr[~self.table.valid_mask(arr)]
+            store.difference_update(int(h) for h in stale)
 
     def _check_neighbors(self) -> None:
         """Probe neighbors that have gone silent instead of silently
@@ -346,6 +411,10 @@ class CanNode(Component):
         refresh = self.sim.now + self.record_ttl
         for record in promoted.values():
             self.records[record.host_name] = record.refreshed(refresh)
+        promoted_ids = self.handle_replicas.pop(dead.node_id, None)
+        if promoted_ids:
+            self.handles.update(promoted_ids)
+            self._prune_handles()
         self.sim.trace.event("can.takeover", node=self.node_id, dead=dead.node_id,
                              zones=len(dead.zones), records=len(promoted))
         self._announce_to_neighbors()
@@ -358,6 +427,9 @@ class CanNode(Component):
                 if mine.can_merge(zone):
                     self.zones[i] = mine.merge(zone)
                     merged = True
+                    self._m_merges.add()
+                    self.sim.trace.event("can.merge", node=self.node_id,
+                                         zones=len(self.zones))
                     break
             if not merged:
                 self.zones.append(zone)
@@ -389,6 +461,10 @@ class CanNode(Component):
 
     def _on_route(self, op: _RouteOp, _src_ip, _src_port):
         self.routed_ops += 1
+        if op.op == "put_ids":
+            # Batched handle stores partition themselves: every hop keeps
+            # what it owns and forwards per-destination sub-batches.
+            return self._store_ids(op.body, op.hops)
         if self.owns(op.point):
             return self._execute(op)
         if op.hops >= MAX_HOPS:
@@ -413,18 +489,206 @@ class CanNode(Component):
             self.records[record.host_name] = stored
             self._replicate(stored)
             return ("stored", self.node_id)
+        if op.op == "put_ids":
+            return self._store_ids(op.body, op.hops)
         if op.op == "remove":
             self.records.pop(op.body, None)
+            if self.table is not None:
+                host_id = self.table.lookup(op.body)
+                if host_id >= 0:
+                    self.handles.discard(self.table.handle(host_id))
             return ("removed", self.node_id)
         if op.op == "get":
             limit = int(op.body) if op.body else 16
             now = self.sim.now
             live = [r for r in self.records.values() if not r.expired(now)]
+            live.extend(self._handle_records(op.point, limit))
             live.sort(key=lambda r: sum((a - b) ** 2 for a, b in zip(r.point, op.point)))
             return tuple(live[:limit])
         if op.op == "join":
             return self._admit(op.body)
         raise RpcError(f"unknown CAN op {op.op!r}")
+
+    def _handle_records(self, point: Point, limit: int) -> list:
+        """Build ResourceRecords for the ``limit`` live table handles
+        nearest ``point`` — the only rows a query forces out of columnar
+        form. Distance ranking is vectorized over the coords column."""
+        if self.table is None or not self.handles:
+            return []
+        arr = np.fromiter(self.handles, dtype=np.int64, count=len(self.handles))
+        arr = arr[self.table.valid_mask(arr)]
+        if not len(arr):
+            return []
+        ids = self.table.handle_ids(arr)
+        delta = self.table.coords[ids] - np.asarray(point, dtype=np.float64)
+        d2 = (delta * delta).sum(axis=1)
+        top = np.lexsort((ids, d2))[:limit]
+        expires = self.sim.now + self.record_ttl
+        return [self.table.record(int(ids[k]), expires_at=expires) for k in top]
+
+    # -- batched handle storage (registration-storm fast path) -------------
+    def put_ids(self, ids) -> Any:
+        """Process: publish directory handles for freshly registered table
+        rows. Handles whose points this node owns are stored locally; the
+        rest are forwarded in per-destination sub-batches — one routed
+        RPC per destination node, not one per endpoint."""
+        if self.table is None:
+            raise RpcError(f"{self.node_id} has no host table")
+        handles = tuple(self.table.handle(int(i)) for i in np.asarray(ids))
+        result = self._store_ids(handles, 0)
+        if hasattr(result, "__next__"):
+            result = yield from result
+        return result
+
+    def _store_ids(self, handles, hops: int):
+        if self.table is None:
+            raise RpcError(f"{self.node_id} has no host table")
+        arr = np.asarray(handles, dtype=np.int64)
+        ids = self.table.handle_ids(arr)
+        pts = self.table.coords[ids]
+        own = np.zeros(len(arr), dtype=bool)
+        for zone in self.zones:
+            m = np.ones(len(arr), dtype=bool)
+            for d in range(self.dims):
+                m &= (pts[:, d] >= zone.lows[d]) & (pts[:, d] < zone.highs[d])
+            own |= m
+        mine = arr[own]
+        if len(mine):
+            self.handles.update(int(h) for h in mine)
+            self._m_handles.add(len(mine))
+            self._replicate_ids(mine)
+            self._maybe_split()
+        rest = arr[~own]
+        if not len(rest):
+            return ("stored", int(len(mine)))
+        if hops >= MAX_HOPS:
+            raise RpcError(f"hop limit reached at {self.node_id}")
+
+        def forward():
+            stored = int(len(mine))
+            rest_pts = pts[~own]
+            buckets: dict[str, list[int]] = {}
+            for k, handle in enumerate(rest):
+                point = tuple(float(x) for x in rest_pts[k])
+                nxt = self._next_hop(point)
+                if nxt is None:
+                    continue  # unroutable while a neighbor is down; the
+                    # endpoint's next keepalive re-publishes it
+                buckets.setdefault(nxt.node_id, []).append(int(handle))
+            for node_id, batch in buckets.items():
+                info = self.neighbors.get(node_id)
+                if info is None:
+                    continue
+                first = self.table.coords[self.table.handle_ids(
+                    np.asarray(batch[:1], dtype=np.int64))][0]
+                fwd = _RouteOp(tuple(float(x) for x in first), "put_ids",
+                               tuple(batch), hops=hops + 1)
+                try:
+                    reply = yield from self.rpc.call(info.ip, info.port,
+                                                     "can.route", fwd)
+                except (RpcTimeout, RpcError):
+                    continue
+                stored += int(reply[1])
+            return ("stored", stored)
+
+        return forward()
+
+    def _replicate_ids(self, handles) -> None:
+        payload = (self.node_id, tuple(int(h) for h in handles))
+        for info in self._replica_targets():
+            self.rpc.notify(info.ip, info.port, "can.replica_ids", payload)
+
+    def _replica_targets(self) -> list:
+        if self.replication_factor is None:
+            return list(self.neighbors.values())
+        infos = sorted(self.neighbors.values(), key=lambda i: i.node_id)
+        return infos[: self.replication_factor]
+
+    # -- hot-zone splitting -------------------------------------------------
+    def zone_load(self, zone: Zone) -> int:
+        """Directory entries (records + live handles) in one zone."""
+        load = sum(1 for r in self.records.values() if zone.contains(r.point))
+        if self.table is not None and self.handles:
+            arr = np.fromiter(self.handles, dtype=np.int64,
+                              count=len(self.handles))
+            ids = self.table.handle_ids(arr[self.table.valid_mask(arr)])
+            load += int(len(self.table.ids_in_zone(zone, ids)))
+        return load
+
+    def _maybe_split(self) -> None:
+        """Shed half of any over-loaded zone to an abutting neighbor —
+        load-driven splitting on top of the join-driven splits of the
+        CAN paper."""
+        if self.hot_zone_limit is None or len(self.neighbors) == 0:
+            return
+        if (self._split_mark >= 0 and len(self.handles) - self._split_mark
+                < max(1, self.hot_zone_limit // 4)):
+            return
+        self._split_mark = len(self.handles)
+        for zone in list(self.zones):
+            load = self.zone_load(zone)
+            if load <= self.hot_zone_limit:
+                continue
+            lower, upper = zone.split()
+            keep, shed = lower, upper
+            if self.zone_load(shed) < self.zone_load(keep):
+                keep, shed = shed, keep
+            abutting = sorted(
+                nid for nid, info in self.neighbors.items()
+                if any(shed.is_neighbor(nz) for nz in info.zones))
+            if not abutting:
+                continue
+            target = self.neighbors[abutting[0]]
+            self.zones.remove(zone)
+            self.zones.append(keep)
+            shed_records = tuple(r for r in self.records.values()
+                                 if shed.contains(r.point))
+            for record in shed_records:
+                del self.records[record.host_name]
+            shed_handles: tuple = ()
+            if self.table is not None and self.handles:
+                arr = np.fromiter(self.handles, dtype=np.int64,
+                                  count=len(self.handles))
+                ids = self.table.handle_ids(arr)
+                in_shed = self.table.ids_in_zone(shed, ids)
+                picked = arr[np.isin(ids, in_shed)]
+                shed_handles = tuple(int(h) for h in picked)
+                self.handles.difference_update(shed_handles)
+            self._m_splits.add()
+            self.sim.trace.event("can.split", node=self.node_id,
+                                 load=load, target=target.node_id,
+                                 entries=len(shed_records) + len(shed_handles))
+            self.sim.process(
+                self._shed_zone(target, shed, shed_records, shed_handles),
+                name=f"can-shed:{self.node_id}->{target.node_id}")
+
+    def _shed_zone(self, target: NeighborInfo, zone: Zone,
+                   records: tuple, handles: tuple):
+        payload = _ShedPayload(self._my_info(), zone, records, handles)
+        try:
+            yield from self.rpc.call(target.ip, target.port, "can.shed",
+                                     payload, timeout=5.0)
+        except (RpcTimeout, RpcError):
+            # Handoff failed: reabsorb so the directory entries survive.
+            self._absorb_zones([zone])
+            for record in records:
+                self.records[record.host_name] = record
+            self.handles.update(handles)
+            return
+        self._announce_to_neighbors()
+        self._prune_non_neighbors()
+
+    def _on_shed(self, payload: _ShedPayload, _src_ip, _src_port):
+        self._absorb_zones([payload.zone])
+        for record in payload.records:
+            self.records[record.host_name] = record
+        self.handles.update(payload.handles)
+        info = payload.shedder
+        info.last_seen = self.sim.now
+        self.neighbors[info.node_id] = info
+        self._known_peers[info.node_id] = (info.ip, info.port)
+        self._announce_to_neighbors()
+        return ("absorbed", self.node_id)
 
     def _admit(self, joiner: NeighborInfo) -> _JoinGrant:
         """Split the zone covering the joiner's point and grant half."""
@@ -440,6 +704,15 @@ class CanNode(Component):
         moved = tuple(r for r in self.records.values() if granted.contains(r.point))
         for record in moved:
             del self.records[record.host_name]
+        moved_handles: tuple = ()
+        if self.table is not None and self.handles:
+            arr = np.fromiter(self.handles, dtype=np.int64,
+                              count=len(self.handles))
+            ids = self.table.handle_ids(arr)
+            in_granted = self.table.ids_in_zone(granted, ids)
+            picked = arr[np.isin(ids, in_granted)]
+            moved_handles = tuple(int(h) for h in picked)
+            self.handles.difference_update(moved_handles)
         joiner_info = NeighborInfo(joiner.node_id, joiner.ip, joiner.port,
                                    zones=[granted], last_seen=self.sim.now)
         self._known_peers[joiner.node_id] = (joiner.ip, joiner.port)
@@ -451,7 +724,7 @@ class CanNode(Component):
         self.neighbors[joiner.node_id] = joiner_info
         self._prune_non_neighbors()
         self._announce_to_neighbors()
-        return _JoinGrant(granted, moved, tuple(grant_neighbors))
+        return _JoinGrant(granted, moved, tuple(grant_neighbors), moved_handles)
 
     # -- inbound notifications ---------------------------------------------------
     def _on_neighbor(self, info: NeighborInfo, _src_ip, _src_port):
@@ -470,8 +743,10 @@ class CanNode(Component):
         self._absorb_zones(payload.zones)
         for record in payload.records:
             self.records[record.host_name] = record
+        self.handles.update(payload.handles)
         self.neighbors.pop(payload.leaver.node_id, None)
         self.replicas.pop(payload.leaver.node_id, None)
+        self.handle_replicas.pop(payload.leaver.node_id, None)
         self._announce_to_neighbors()
         return ("absorbed", self.node_id)
 
@@ -491,12 +766,19 @@ class CanNode(Component):
         self._m_replicas.add()
         return None
 
+    def _on_replica_ids(self, payload: tuple, _src_ip, _src_port):
+        owner_id, handles = payload
+        self.handle_replicas.setdefault(owner_id, set()).update(handles)
+        self._m_replicas.add(len(handles))
+        return None
+
     def _replicate(self, record: ResourceRecord) -> None:
-        """Push a copy of a freshly stored record to every neighbor, so
-        an ungraceful death does not lose it (overlays are small, so
-        full-neighbor replication is cheap)."""
+        """Push a copy of a freshly stored record to neighbors, so an
+        ungraceful death does not lose it (every neighbor by default —
+        overlays are small — or the first ``replication_factor`` by
+        node id)."""
         payload = (self.node_id, record)
-        for info in self.neighbors.values():
+        for info in self._replica_targets():
             self.rpc.notify(info.ip, info.port, "can.replica", payload)
 
 
@@ -505,7 +787,9 @@ class _LeavePayload:
     leaver: NeighborInfo
     zones: tuple
     records: tuple
+    handles: tuple = ()
 
     @property
     def size(self) -> int:
-        return 32 + 16 * len(self.zones) + sum(r.size for r in self.records)
+        return (32 + 16 * len(self.zones) + sum(r.size for r in self.records)
+                + 8 * len(self.handles))

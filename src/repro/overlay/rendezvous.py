@@ -12,6 +12,16 @@ This is the paper's "rendezvous server" (Fig 1-3): a public host that
    both hosts receive the mutual connection information and punch;
 4. runs the distance locator that feeds the locality-sensitive grouping
    strategy (§II.D).
+
+Beyond the paper, the registry is backed by the struct-of-arrays
+:class:`~repro.core.hoststate.HostTable` rather than per-host objects:
+``server.hosts`` is a live view over the table rows this server owns,
+so a million registered-but-idle endpoints cost table rows, not Python
+object stacks. Registration supports *batching* (``rvz.register_batch``
+carries column arrays for hundreds of endpoints in one envelope) and
+*admission control* (a token bucket sheds load during registration
+storms with an explicit retry-after error instead of silent queue
+collapse).
 """
 
 from __future__ import annotations
@@ -19,6 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
+from repro.core.hoststate import EndpointRow, HostTable
 from repro.net.addresses import IPv4Address
 from repro.overlay.can import CAN_PORT, CanNode
 from repro.overlay.resources import ConnectionInfo, ResourceRecord, ResourceSpec
@@ -26,28 +39,95 @@ from repro.overlay.rpc import RpcEndpoint, RpcError
 from repro.sim.engine import Simulator
 from repro.sim.lifecycle import Component
 
-__all__ = ["RegisteredHost", "RendezvousServer", "RENDEZVOUS_PORT"]
+__all__ = ["AdmissionReject", "RegisteredHost", "RendezvousServer",
+           "RENDEZVOUS_PORT"]
 
 RENDEZVOUS_PORT = 4001
 HOST_TTL = 60.0
 
+# The registry entry type: a live struct-of-arrays row view. Kept under
+# the historical name — the attribute surface is unchanged.
+RegisteredHost = EndpointRow
 
-@dataclass
-class RegisteredHost:
-    """A desktop host admitted through this rendezvous server."""
 
-    name: str
-    # Endpoint this server can reach the host at (the NAT mapping opened
-    # by the host's registration/keepalive flow).
-    reach_ip: IPv4Address
-    reach_port: int
-    conn: ConnectionInfo
-    attrs: dict
-    last_seen: float
+class AdmissionReject(RpcError):
+    """Registration shed by the token bucket; retry after backoff."""
 
-    @property
-    def size(self) -> int:
-        return 48
+
+class _HostsView:
+    """Mapping-like live view of the table rows one server owns.
+
+    Supports the subset of the old ``dict[str, RegisteredHost]``
+    interface the protocol handlers and tests use: membership, length,
+    iteration (names), ``get``/``__getitem__`` (row views), ``values``.
+    """
+
+    def __init__(self, table: HostTable, owner: int) -> None:
+        self._table = table
+        self._owner = owner
+
+    def _owned(self, name: str) -> int:
+        host_id = self._table.lookup(name)
+        if host_id < 0 or int(self._table.owner[host_id]) != self._owner:
+            return -1
+        if not (self._table.flags[host_id] & 1):  # FLAG_REGISTERED
+            return -1
+        return host_id
+
+    def get(self, name: str, default=None):
+        host_id = self._owned(name)
+        return self._table.row(host_id) if host_id >= 0 else default
+
+    def __getitem__(self, name: str) -> EndpointRow:
+        row = self.get(name)
+        if row is None:
+            raise KeyError(name)
+        return row
+
+    def __contains__(self, name: str) -> bool:
+        return self._owned(name) >= 0
+
+    def _ids(self) -> np.ndarray:
+        return self._table.registered_ids(owner=self._owner)
+
+    def __len__(self) -> int:
+        return int(len(self._ids()))
+
+    def __iter__(self):
+        return iter(self._table.names_of(self._ids()))
+
+    def keys(self):
+        return list(self)
+
+    def values(self):
+        return [self._table.row(int(i)) for i in self._ids()]
+
+    def items(self):
+        return [(self._table.name_of(int(i)), self._table.row(int(i)))
+                for i in self._ids()]
+
+
+class _TokenBucket:
+    """Deterministic token bucket (refill computed from sim time)."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = 0.0
+
+    def admit(self, now: float, n: float) -> bool:
+        self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def retry_after(self, n: float) -> float:
+        return max(0.0, (n - self.tokens) / self.rate)
 
 
 @dataclass(frozen=True)
@@ -59,6 +139,42 @@ class _RegisterBody:
     @property
     def size(self) -> int:
         return 48 + 8 * len(self.attrs)
+
+
+@dataclass(frozen=True)
+class _RegisterBatch:
+    """Column-packed bulk registration: parallel arrays, one envelope.
+
+    ``attr_values`` rows follow the server's ResourceSpec attribute
+    order. The batch shares one reachability endpoint (the lane socket
+    that sent it) — exactly what a concentrator/proxy re-registering a
+    site's endpoints after an outage looks like.
+    """
+
+    names: tuple
+    public_ip: np.ndarray
+    public_port: np.ndarray
+    private_ip: np.ndarray
+    private_port: np.ndarray
+    nat_code: np.ndarray
+    attr_values: np.ndarray
+    region: int = -1
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def size(self) -> int:
+        return 24 + 40 * len(self.names)
+
+
+@dataclass(frozen=True)
+class _KeepaliveBatch:
+    names: tuple
+
+    @property
+    def size(self) -> int:
+        return 16 + 8 * len(self.names)
 
 
 @dataclass(frozen=True)
@@ -92,17 +208,25 @@ class RendezvousServer(Component):
     """One rendezvous server (public host) with its CAN node.
 
     As a lifecycle :class:`~repro.sim.lifecycle.Component` (kind
-    ``rendezvous``): ``crash`` kills the process — host registry and
-    latency reports are lost, both sockets close, and the embedded CAN
-    node crashes with it; ``restore`` rebinds, restarts the receive
-    loop, and rejoins the CAN overlay through cached peer addresses.
-    Hosts re-appear in the registry only when their keepalives (or a
-    driver failover re-registration) arrive.
+    ``rendezvous``): ``crash`` kills the process — the registrations
+    this server owns are released from the shared host table (volatile
+    registry semantics), latency reports are lost, both sockets close,
+    and the embedded CAN node crashes with it; ``restore`` rebinds,
+    restarts the receive loop, and rejoins the CAN overlay through
+    cached peer addresses. Hosts re-appear in the registry only when
+    their keepalives (or a driver failover re-registration) arrive.
     """
 
     def __init__(self, host, spec: Optional[ResourceSpec] = None,
                  can_dims: int = 2, port: int = RENDEZVOUS_PORT,
-                 can_port: int = CAN_PORT, host_ttl: float = HOST_TTL) -> None:
+                 can_port: int = CAN_PORT, host_ttl: float = HOST_TTL,
+                 table: Optional[HostTable] = None, server_index: int = 0,
+                 admission_rate: Optional[float] = None,
+                 admission_burst: Optional[float] = None,
+                 expiry_interval: Optional[float] = None,
+                 retry_concurrency: Optional[int] = None,
+                 replication_factor: Optional[int] = None,
+                 hot_zone_limit: Optional[int] = None) -> None:
         self.host = host
         self.sim: Simulator = host.sim
         Component.__init__(self, host.sim, "rendezvous", host.name)
@@ -110,25 +234,47 @@ class RendezvousServer(Component):
         self.port = port
         self.host_ttl = host_ttl
         self.ip: IPv4Address = host.stack.ips[0]
-        self.can = CanNode(host, dims=self.spec.dims, port=can_port)
-        self.hosts: dict[str, RegisteredHost] = {}
+        self.table = table if table is not None else HostTable(
+            self.sim, spec=self.spec)
+        self.server_index = server_index
+        self.can = CanNode(host, dims=self.spec.dims, port=can_port,
+                           table=self.table,
+                           replication_factor=replication_factor,
+                           hot_zone_limit=hot_zone_limit,
+                           retry_concurrency=retry_concurrency)
+        self.hosts = _HostsView(self.table, server_index)
         self.latency_reports: dict[tuple[str, str], float] = {}
         self.connects_brokered = 0
         self.frames_relayed = 0
+        self.admission = (_TokenBucket(admission_rate,
+                                       admission_burst or 2 * admission_rate)
+                          if admission_rate else None)
+        self.expiry_interval = expiry_interval
         self.metrics = self.sim.metrics.scope(f"{host.name}.rvz")
         self._m_registered = self.metrics.counter("hosts.registered")
+        self._m_batched = self.metrics.counter("hosts.batch_registered")
         self._m_keepalives = self.metrics.counter("keepalives")
         self._m_queries = self.metrics.counter("queries")
         self._m_brokered = self.metrics.counter("connects.brokered")
         self._m_relay_frames = self.metrics.counter("relay.frames")
         self._m_relay_bytes = self.metrics.counter("relay.bytes")
+        self._m_admitted = self.metrics.counter("admission.accepted")
+        self._m_rejected = self.metrics.counter("admission.rejected")
+        self._m_expired = self.metrics.counter("hosts.expired")
         self._sock = host.udp.bind(port)
         self.rpc = RpcEndpoint(host.stack, self._sock, name=f"rvz:{host.name}",
-                               own_loop=False)
+                               own_loop=False,
+                               retry_concurrency=retry_concurrency)
         self._rx_proc = self.sim.process(self._rx_loop(self._sock),
                                          name=f"rvz-rx:{host.name}")
+        self._expiry_proc = None
+        if expiry_interval:
+            self._expiry_proc = self.sim.process(
+                self._expiry_loop(), name=f"rvz-expire:{host.name}")
         self.rpc.register("rvz.register", self._on_register)
+        self.rpc.register("rvz.register_batch", self._on_register_batch)
         self.rpc.register("rvz.keepalive", self._on_keepalive)
+        self.rpc.register("rvz.keepalive_batch", self._on_keepalive_batch)
         self.rpc.register("rvz.query", self._on_query)
         self.rpc.register("rvz.connect", self._on_connect)
         self.rpc.register("rvz.relay_connect", self._on_relay_connect)
@@ -159,14 +305,33 @@ class RendezvousServer(Component):
         except Interrupt:
             return
 
+    def _expiry_loop(self):
+        """Process: periodic TTL sweep over this server's table rows —
+        the idle-endpoint liveness reaper at fleet scale (a materialized
+        host's driver keepalives exempt it)."""
+        from repro.sim.engine import Interrupt
+        try:
+            while True:
+                yield self.sim.timeout(self.expiry_interval)
+                gone = self.expire_hosts()
+                if gone:
+                    self.sim.trace.event("rvz.expired", server=self.host.name,
+                                         count=len(gone))
+        except Interrupt:
+            return
+
     # -- lifecycle ------------------------------------------------------
     def _on_stop(self) -> None:
         if self._rx_proc is not None and self._rx_proc.is_alive:
             self._rx_proc.interrupt("stopped")
             self._rx_proc.defuse()
         self._rx_proc = None
+        if self._expiry_proc is not None and self._expiry_proc.is_alive:
+            self._expiry_proc.interrupt("stopped")
+            self._expiry_proc.defuse()
+        self._expiry_proc = None
         self._sock.close()
-        self.hosts.clear()
+        self.table.release_owner(self.server_index)
         self.latency_reports.clear()
         self.can.crash()
 
@@ -175,6 +340,9 @@ class RendezvousServer(Component):
         self.rpc.rebind(self._sock)
         self._rx_proc = self.sim.process(self._rx_loop(self._sock),
                                          name=f"rvz-rx:{self.host.name}")
+        if self.expiry_interval:
+            self._expiry_proc = self.sim.process(
+                self._expiry_loop(), name=f"rvz-expire:{self.host.name}")
         self.can.restore()
 
     # -- overlay membership --------------------------------------------------
@@ -184,21 +352,57 @@ class RendezvousServer(Component):
     def join_via(self, other: "RendezvousServer"):
         return self.can.join_via(other.ip, other.can.port)
 
+    # -- admission control -----------------------------------------------------
+    def _admit(self, n: int) -> None:
+        if self.admission is None:
+            self._m_admitted.add(n)
+            return
+        if self.admission.admit(self.sim.now, n):
+            self._m_admitted.add(n)
+            return
+        self._m_rejected.add(n)
+        retry = self.admission.retry_after(n)
+        self.sim.trace.event("rvz.admission_reject", server=self.host.name,
+                             n=n, retry_after=round(retry, 3))
+        raise AdmissionReject(f"admission: retry after {retry:.3f}")
+
     # -- host admission --------------------------------------------------------
-    def _record_for(self, reg: RegisteredHost) -> ResourceRecord:
+    def _record_for(self, reg: EndpointRow) -> ResourceRecord:
         point = self.spec.to_point(**reg.attrs)
         return ResourceRecord(reg.name, point, dict(reg.attrs), reg.conn)
 
     def _on_register(self, body: _RegisterBody, src_ip: IPv4Address, src_port: int):
+        self._admit(1)
         self._m_registered.add()
-        reg = RegisteredHost(body.name, src_ip, src_port, body.conn,
-                             dict(body.attrs), self.sim.now)
-        self.hosts[body.name] = reg
+        host_id = self.table.register(body.name, body.conn, dict(body.attrs),
+                                      (src_ip, src_port), self.sim.now,
+                                      owner=self.server_index)
+        reg = self.table.row(host_id)
 
         def publish():
             record = self._record_for(reg)
             yield from self.can.route("put", record.point, record)
             return ("registered", self.host.name)
+
+        return publish()
+
+    def _on_register_batch(self, batch: _RegisterBatch,
+                           src_ip: IPv4Address, src_port: int):
+        """Bulk admission: one token-bucket draw, one vectorized table
+        insert, and handle-based CAN publication grouped by owner — no
+        per-endpoint RPC amplification."""
+        self._admit(len(batch))
+        self._m_batched.add(len(batch))
+        ids = self.table.register_batch(
+            batch.names, batch.public_ip, batch.public_port,
+            batch.private_ip, batch.private_port, batch.nat_code,
+            batch.attr_values, rendezvous=(self.ip, self.port),
+            reach=(src_ip, src_port), now=self.sim.now,
+            owner=self.server_index, region=batch.region)
+
+        def publish():
+            stored = yield from self.can.put_ids(ids)
+            return ("registered_batch", len(batch), stored)
 
         return publish()
 
@@ -219,6 +423,15 @@ class RendezvousServer(Component):
             return ("ok", self.host.name)
 
         return refresh()
+
+    def _on_keepalive_batch(self, batch: _KeepaliveBatch,
+                            src_ip: IPv4Address, src_port: int):
+        """Batched liveness-epoch bump for idle table-resident
+        endpoints. No CAN refresh needed: handle records read liveness
+        straight from the table."""
+        self._m_keepalives.add(len(batch.names))
+        alive = self.table.touch_names(batch.names, self.sim.now)
+        return ("ok", alive)
 
     # -- resource discovery -----------------------------------------------------
     def _on_query(self, body, _src_ip, _src_port):
@@ -278,8 +491,6 @@ class RendezvousServer(Component):
     def latency_matrix(self) -> "tuple[list[str], Any]":
         """(names, NxN numpy matrix) from accumulated reports (NaN where
         unmeasured) — the distance locator state used for grouping."""
-        import numpy as np
-
         names = sorted({a for a, _b in self.latency_reports}
                        | {b for _a, b in self.latency_reports}
                        | set(self.hosts))
@@ -292,8 +503,8 @@ class RendezvousServer(Component):
 
     # -- liveness -----------------------------------------------------------------
     def expire_hosts(self) -> list[str]:
-        horizon = self.sim.now - self.host_ttl
-        gone = [n for n, reg in self.hosts.items() if reg.last_seen < horizon]
-        for name in gone:
-            del self.hosts[name]
+        gone = self.table.expire(self.sim.now - self.host_ttl,
+                                 owner=self.server_index)
+        if gone:
+            self._m_expired.add(len(gone))
         return gone

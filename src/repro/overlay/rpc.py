@@ -54,12 +54,19 @@ class RpcEndpoint:
     """RPC service bound to one UDP socket."""
 
     def __init__(self, stack, sock: UdpSocket, name: str = "rpc",
-                 own_loop: bool = True) -> None:
+                 own_loop: bool = True,
+                 retry_concurrency: Optional[int] = None) -> None:
         """With ``own_loop=False`` the endpoint does not read the socket;
         the owner demultiplexes datagrams and feeds RPC envelopes through
         :meth:`handle_datagram` (the WAVNet driver shares one socket
         between RPC control traffic and the tunnel data plane, so they
-        ride the same NAT mapping)."""
+        ride the same NAT mapping).
+
+        ``retry_concurrency`` caps concurrent retry probes *per
+        destination*: when that many retries are already in flight to a
+        peer, further retry attempts from this endpoint wait for one of
+        the active probes to resolve instead of sending — a registration
+        storm against a dead peer stays N probes, not N×callers."""
         self.stack = stack
         self.sock = sock
         self.name = name
@@ -68,10 +75,14 @@ class RpcEndpoint:
         self._waiting: dict[int, Any] = {}  # rpc_id -> Event
         self.calls_made = 0
         self.requests_served = 0
+        self.retry_concurrency = retry_concurrency
+        self._retry_inflight: dict[tuple, int] = {}  # dest -> live probes
+        self._retry_gates: dict[tuple, Any] = {}  # dest -> Event
         metrics = stack.sim.metrics.scope(f"{name}.rpc")
         self._m_calls = metrics.counter("calls")
         self._m_retries = metrics.counter("retries")
         self._m_timeouts = metrics.counter("timeouts")
+        self._m_coalesced = metrics.counter("retries_coalesced")
         self._m_served = metrics.counter("served")
         self._own_loop = own_loop
         self._dispatcher = None
@@ -180,12 +191,27 @@ class RpcEndpoint:
              timeout: float = 2.0, retries: int = 3):
         """Process body: returns the reply body; raises RpcTimeout/RpcError."""
         sim = self.stack.sim
+        dest = (dst_ip, dst_port)
         last_exc: Optional[Exception] = None
         for attempt in range(retries):
             if self.sock.closed:
                 # Our component crashed mid-call; surface as a timeout so
                 # callers' existing retry/abort paths handle it.
                 raise RpcTimeout(f"{kind}: local endpoint closed")
+            gated = attempt > 0 and self.retry_concurrency is not None
+            if gated and self._retry_inflight.get(dest, 0) >= self.retry_concurrency:
+                # This peer already has the full complement of retry
+                # probes in flight; piggyback on one instead of adding
+                # another packet to the storm. The gate fires when any
+                # active probe resolves (reply or timeout), after which
+                # we re-attempt (and may send if a slot is free).
+                self._m_coalesced.add()
+                gate = self._retry_gates.get(dest)
+                if gate is None or gate.triggered:
+                    gate = self._retry_gates[dest] = sim.event()
+                yield sim.any_of([gate, sim.timeout(timeout)])
+                last_exc = RpcTimeout(f"{kind} to {dst_ip}:{dst_port} (coalesced)")
+                continue
             rpc_id = self._alloc_id()
             env = _Envelope(rpc_id, kind, body, is_reply=False)
             waiter = sim.event()
@@ -195,10 +221,16 @@ class RpcEndpoint:
                 self._m_calls.add()
             else:
                 self._m_retries.add()
+                if gated:
+                    self._retry_inflight[dest] = self._retry_inflight.get(dest, 0) + 1
             self.sock.sendto(dst_ip, dst_port,
                              Payload(ENVELOPE_OVERHEAD + _body_size(body), data=env, kind="rpc"))
             deadline = sim.timeout(timeout)
-            yield sim.any_of([waiter, deadline])
+            try:
+                yield sim.any_of([waiter, deadline])
+            finally:
+                if gated:
+                    self._release_retry(dest)
             if waiter.processed:
                 return waiter.value  # may raise RpcError via the fail path
             if waiter.triggered:
@@ -208,6 +240,16 @@ class RpcEndpoint:
             last_exc = RpcTimeout(f"{kind} to {dst_ip}:{dst_port}")
         self._m_timeouts.add()
         raise last_exc
+
+    def _release_retry(self, dest: tuple) -> None:
+        n = self._retry_inflight.get(dest, 0)
+        if n <= 1:
+            self._retry_inflight.pop(dest, None)
+        else:
+            self._retry_inflight[dest] = n - 1
+        gate = self._retry_gates.pop(dest, None)
+        if gate is not None and not gate.triggered:
+            gate.succeed(None)
 
     def close(self) -> None:
         self.sock.close()

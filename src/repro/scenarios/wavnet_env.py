@@ -11,10 +11,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.driver import WavnetDriver
+from repro.core.hoststate import HostTable
 from repro.exp.spec import scenario
 from repro.net.addresses import IPv4Address
 from repro.net.stack import Host
 from repro.net.wan import WanCloud
+from repro.overlay.fleet import RendezvousFleet
 from repro.overlay.rendezvous import RendezvousServer
 from repro.overlay.resources import ResourceSpec
 from repro.scenarios.builder import NattedSite, make_natted_site, make_public_host
@@ -46,7 +48,13 @@ class WavnetEnvironment:
 
     def __init__(self, sim: Simulator, default_latency: float = 0.025,
                  n_rendezvous: int = 1, spec: Optional[ResourceSpec] = None,
-                 virtual_network: str = "10.99.0.0/16") -> None:
+                 virtual_network: str = "10.99.0.0/16",
+                 admission_rate: Optional[float] = None,
+                 admission_burst: Optional[float] = None,
+                 replication_factor: Optional[int] = None,
+                 hot_zone_limit: Optional[int] = None,
+                 expiry_interval: Optional[float] = None,
+                 retry_concurrency: Optional[int] = None) -> None:
         self.sim = sim
         self.cloud = WanCloud(sim, default_latency=default_latency)
         self.stun = StunServerPair(sim, self.cloud)
@@ -54,15 +62,29 @@ class WavnetEnvironment:
         self.virtual_network = virtual_network
         self.rendezvous: list[RendezvousServer] = []
         self.hosts: dict[str, WavnetHost] = {}
+        self.retry_concurrency = retry_concurrency
         self._next_vip = 1
         self._next_pub = 1
+        # Single source of truth for every registered endpoint; the
+        # rendezvous servers all own slices of it (fleet sharding).
+        self.table = HostTable(sim, spec=self.spec)
+        self.table.materializer = self._materialize_host
+        self.table.dematerializer = self._dematerialize_host
         for i in range(n_rendezvous):
             rhost = make_public_host(sim, self.cloud, f"rvz{i}", f"9.1.0.{i + 1}",
                                      network="9.1.0.0/24")
-            server = RendezvousServer(rhost, spec=self.spec)
+            server = RendezvousServer(rhost, spec=self.spec,
+                                      table=self.table, server_index=i,
+                                      admission_rate=admission_rate,
+                                      admission_burst=admission_burst,
+                                      replication_factor=replication_factor,
+                                      hot_zone_limit=hot_zone_limit,
+                                      expiry_interval=expiry_interval,
+                                      retry_concurrency=retry_concurrency)
             if i == 0:
                 server.bootstrap()
             self.rendezvous.append(server)
+        self.fleet = RendezvousFleet(self.rendezvous)
 
     def join_rendezvous_overlay(self):
         """Process: join all non-bootstrap rendezvous nodes into the CAN
@@ -93,50 +115,145 @@ class WavnetEnvironment:
         cpu_factor: float = 1.0,
         **driver_kwargs,
     ) -> WavnetHost:
-        """Add one desktop host (behind its own NAT unless ``public``)."""
+        """Add one desktop host (behind its own NAT unless ``public``):
+        reserve its directory row, then build the full object stack."""
+        self.add_endpoint(name, nat_type=nat_type,
+                          rendezvous_index=rendezvous_index,
+                          access_bandwidth_bps=access_bandwidth_bps,
+                          access_latency=access_latency,
+                          udp_timeout=udp_timeout, attrs=attrs,
+                          pulse_interval=pulse_interval, public=public,
+                          tcp_mss=tcp_mss, tcp_send_buf=tcp_send_buf,
+                          tcp_recv_buf=tcp_recv_buf, cpu_factor=cpu_factor,
+                          **driver_kwargs)
+        return self._build_host(name)
+
+    def add_endpoint(self, name: str, region: int = -1, **site_config) -> int:
+        """Reserve a table row for an endpoint *without* building any
+        object stack: allocates its stable virtual IP and public-address
+        slot and records the site configuration, so a later
+        :meth:`materialize` (or :meth:`add_host`, which calls this)
+        constructs an identical host every time. Returns the row id."""
         if name in self.hosts:
             raise ValueError(f"duplicate host {name!r}")
-        rvz = self.rendezvous[rendezvous_index]
-        stack_kwargs = dict(tcp_mss=tcp_mss, tcp_send_buf=tcp_send_buf,
-                            tcp_recv_buf=tcp_recv_buf, cpu_factor=cpu_factor)
-        if public:
+        host_id = self.table.ensure_row(name)
+        if self.table.site_config(host_id):
+            raise ValueError(f"endpoint {name!r} already declared")
+        rendezvous_index = site_config.get("rendezvous_index", 0)
+        if not 0 <= rendezvous_index < len(self.rendezvous):
+            raise IndexError(f"rendezvous_index {rendezvous_index} out of range")
+        pub_index = self._next_pub
+        self._next_pub += 1
+        vip = self._alloc_vip()
+        self.table.virtual_ip[host_id] = vip.value
+        if region >= 0:
+            self.table.region[host_id] = region
+        cfg = dict(nat_type="port-restricted", rendezvous_index=0,
+                   access_bandwidth_bps=100e6, access_latency=0.0005,
+                   udp_timeout=60.0, attrs=None, pulse_interval=5.0,
+                   public=False, tcp_mss=1460, tcp_send_buf=262144,
+                   tcp_recv_buf=262144, cpu_factor=1.0)
+        driver_kwargs = {k: v for k, v in site_config.items() if k not in cfg}
+        cfg.update({k: v for k, v in site_config.items() if k in cfg})
+        cfg["pub_index"] = pub_index
+        cfg["driver_kwargs"] = driver_kwargs
+        self.table.set_site_config(host_id, **cfg)
+        return host_id
+
+    def _build_host(self, name: str) -> WavnetHost:
+        """Construct the full host/NAT/driver stack for a declared
+        endpoint from its table row — used by :meth:`add_host` and by
+        lazy materialization, so both produce identical stacks."""
+        host_id = self.table.lookup(name)
+        cfg = self.table.site_config(host_id)
+        if not cfg:
+            raise KeyError(f"endpoint {name!r} was never declared")
+        pub_index = cfg["pub_index"]
+        rvz = self.rendezvous[cfg["rendezvous_index"]]
+        stack_kwargs = dict(tcp_mss=cfg["tcp_mss"],
+                            tcp_send_buf=cfg["tcp_send_buf"],
+                            tcp_recv_buf=cfg["tcp_recv_buf"],
+                            cpu_factor=cfg["cpu_factor"])
+        if cfg["public"]:
             host = make_public_host(self.sim, self.cloud, name,
-                                    f"8.2.{self._next_pub // 250}.{(self._next_pub % 250) + 1}",
+                                    f"8.2.{pub_index // 250}.{(pub_index % 250) + 1}",
                                     network="8.0.0.0/8",
-                                    access_latency=access_latency,
-                                    access_bandwidth_bps=access_bandwidth_bps,
+                                    access_latency=cfg["access_latency"],
+                                    access_bandwidth_bps=cfg["access_bandwidth_bps"],
                                     **stack_kwargs)
             site = None
         else:
-            subnet_octet = 1 + (self._next_pub % 254)
+            subnet_octet = 1 + (pub_index % 254)
             site = make_natted_site(
                 self.sim, self.cloud, name,
-                f"8.3.{self._next_pub // 250}.{(self._next_pub % 250) + 1}",
-                nat_type=nat_type,
+                f"8.3.{pub_index // 250}.{(pub_index % 250) + 1}",
+                nat_type=cfg["nat_type"],
                 lan_subnet=f"192.168.{subnet_octet}.0/24",
-                access_bandwidth_bps=access_bandwidth_bps,
-                access_latency=access_latency,
-                udp_timeout=udp_timeout,
+                access_bandwidth_bps=cfg["access_bandwidth_bps"],
+                access_latency=cfg["access_latency"],
+                udp_timeout=cfg["udp_timeout"],
                 **stack_kwargs)
             host = site.hosts[0]
-        self._next_pub += 1
         # Every other rendezvous server is a registration failover target.
+        driver_kwargs = dict(cfg["driver_kwargs"])
         driver_kwargs.setdefault("backup_rendezvous_ips",
                                  [s.ip for s in self.rendezvous if s is not rvz])
+        if self.retry_concurrency is not None:
+            driver_kwargs.setdefault("retry_concurrency", self.retry_concurrency)
         driver = WavnetDriver(
             host,
-            virtual_ip=self._alloc_vip(),
+            virtual_ip=IPv4Address(int(self.table.virtual_ip[host_id])),
             virtual_network=self.virtual_network,
             rendezvous_ip=rvz.ip,
             stun_server_ip=self.stun.primary_ip,
-            attrs=attrs,
+            attrs=cfg["attrs"],
             name=name,
-            pulse_interval=pulse_interval,
+            pulse_interval=cfg["pulse_interval"],
             **driver_kwargs,
         )
         wav_host = WavnetHost(host=host, driver=driver, site=site)
         self.hosts[wav_host.name] = wav_host
         return wav_host
+
+    # -- lazy materialization ------------------------------------------
+    def materialize(self, name: str) -> WavnetHost:
+        """Instantiate and start the full stack for a table-resident
+        endpoint (runs the simulator to drive STUN + registration)."""
+        host_id = self.table.lookup(name)
+        if host_id < 0:
+            raise KeyError(name)
+        return self.table.materialize(host_id)
+
+    def demote(self, name: str) -> None:
+        """Fold a materialized host back into its table row: capture its
+        control-plane state, tear down driver/NAT/links, and release the
+        lifecycle registrations. The directory row survives, so the
+        endpoint stays queryable and can re-materialize identically."""
+        host_id = self.table.lookup(name)
+        if host_id < 0:
+            raise KeyError(name)
+        self.table.demote(host_id)
+
+    def _materialize_host(self, name: str) -> WavnetHost:
+        wav = self._build_host(name)
+        self.sim.run_coro(wav.driver.start())
+        return wav
+
+    def _dematerialize_host(self, name: str, wav: WavnetHost) -> None:
+        host_id = self.table.lookup(name)
+        state = wav.driver.export_endpoint_state()
+        self.table.public_ip[host_id] = IPv4Address(state["public_ip"]).value
+        self.table.public_port[host_id] = state["public_port"]
+        self.table.touch(host_id, self.sim.now)
+        wav.driver.stop()
+        self.cloud.detach(name)
+        registry = self.sim.components
+        doomed = {wav.driver.component_id}
+        doomed.update(cid for cid in registry
+                      if cid.startswith((f"link:{name}.", f"nat:{name}.")))
+        for cid in doomed:
+            registry.remove(cid)
+        del self.hosts[name]
 
     def set_site_rtt(self, a: str, b: str, rtt: float) -> None:
         """Pairwise RTT between two host sites over the cloud."""
