@@ -1,0 +1,157 @@
+"""PDES benchmark: serial vs site-partitioned execution of a single
+simulation, with a byte-identity proof.
+
+Runs two scenarios twice each — serially via ``run_spec`` and split
+over 4 partition processes via ``run_partitioned`` — and records both
+wall clocks in ``BENCH_pdes.json``:
+
+* ``pdes_mesh`` — the fig08-style 4-site tunnel mesh (one partition per
+  site, netperf streams crossing every partition boundary). The packet
+  work splits evenly across the sites, so this case carries the >= 2x
+  speedup floor.
+* ``pdes_storm`` — the registration storm at 150k endpoints (control
+  plane in one partition, one lane per region in the others). Every
+  registration/keepalive mutation lands in the control partition, so
+  the parallel fraction is bounded (Amdahl) — the speedup is reported,
+  not gated.
+
+The merged partitioned envelope MUST be byte-identical to the serial
+one (always enforced, on any machine); the speedup floor is only
+enforced when at least 4 CPUs are visible to this process — a
+single-core container cannot speed anything up by forking.
+
+Run standalone (``python benchmarks/bench_pdes_speedup.py [--check]``)
+or via pytest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import sys
+from time import perf_counter
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.exp.spec import ExperimentSpec, envelope_bytes, run_spec  # noqa: E402
+from repro.sim.pdes import run_partitioned  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pdes.json"
+
+PARTITIONS = 4
+SPEEDUP_FLOOR = 2.0
+MIN_CPUS_FOR_FLOOR = 4
+
+# (scenario, params, seed, speedup floor or None)
+CASES = [
+    ("pdes_mesh", {"partitions": PARTITIONS, "n_sites": 4,
+                   "hosts_per_site": 1, "duration": 6.0}, 5, SPEEDUP_FLOOR),
+    ("pdes_storm", {"partitions": PARTITIONS, "n_endpoints": 150_000,
+                    "n_regions": 3, "batch": 2048,
+                    "keepalive_interval": 3.0, "lat_scale": 5.0,
+                    "horizon": 50.0}, 5, None),
+]
+
+
+def visible_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def run_case(scenario: str, params: dict, seed: int,
+             floor: float | None) -> dict:
+    spec = ExperimentSpec(scenario, params=params, seed=seed)
+    t0 = perf_counter()
+    serial = run_spec(spec)
+    serial_wall = perf_counter() - t0
+    t0 = perf_counter()
+    part = run_partitioned(spec)
+    part_wall = perf_counter() - t0
+    serial_bytes = envelope_bytes(serial)
+    part_bytes = envelope_bytes(part)
+    return {
+        "scenario": scenario,
+        "params": params,
+        "events": serial["obs"]["events_dispatched"],
+        "serial_wall_s": round(serial_wall, 3),
+        "partitions": PARTITIONS,
+        "partitioned_wall_s": round(part_wall, 3),
+        "speedup": round(serial_wall / part_wall, 3),
+        "speedup_floor": floor,
+        "byte_identical": serial_bytes == part_bytes,
+        "envelope_sha256": hashlib.sha256(serial_bytes).hexdigest(),
+        "partitioned_envelope_sha256":
+            hashlib.sha256(part_bytes).hexdigest(),
+    }
+
+
+def run_all() -> dict:
+    return {
+        "cpus_visible": visible_cpus(),
+        "cases": [run_case(*case) for case in CASES],
+    }
+
+
+def write_json(results: dict) -> None:
+    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def render(results: dict) -> str:
+    lines = [f"PDES single-run partitioning, "
+             f"{results['cpus_visible']} CPU(s) visible"]
+    for case in results["cases"]:
+        lines.append(
+            f"  {case['scenario']:<16} serial {case['serial_wall_s']:7.2f}s   "
+            f"{case['partitions']} partitions {case['partitioned_wall_s']:7.2f}s   "
+            f"speedup {case['speedup']:.2f}x   "
+            f"byte-identical: {case['byte_identical']}")
+    return "\n".join(lines)
+
+
+def check(results: dict) -> bool:
+    ok = True
+    enforce = results["cpus_visible"] >= MIN_CPUS_FOR_FLOOR
+    for case in results["cases"]:
+        if not case["byte_identical"]:
+            print(f"FAIL: {case['scenario']} partitioned envelope differs "
+                  "from serial")
+            ok = False
+        floor = case["speedup_floor"]
+        if enforce and floor is not None and case["speedup"] < floor:
+            print(f"FAIL: {case['scenario']} speedup {case['speedup']:.2f}x "
+                  f"below {floor}x floor on "
+                  f"{results['cpus_visible']} CPUs")
+            ok = False
+    if ok:
+        floor = (f"speedup floor enforced ({SPEEDUP_FLOOR}x)" if enforce
+                 else f"speedup floor waived on "
+                      f"{results['cpus_visible']} CPU(s)")
+        worst = min(c["speedup"] for c in results["cases"])
+        print(f"ok: byte-identical, worst speedup {worst:.2f}x; {floor}")
+    return ok
+
+
+def main(argv: list[str]) -> int:
+    results = run_all()
+    write_json(results)
+    print(render(results))
+    if "--check" in argv:
+        return 0 if check(results) else 1
+    return 0
+
+
+def test_pdes_speedup(run_once, emit):
+    """Benchmark-suite entry point: serial vs partitioned wall clock
+    plus the byte-identity assertion."""
+    results = run_once(run_all)
+    write_json(results)
+    emit(render(results))
+    assert check(results)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

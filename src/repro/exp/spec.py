@@ -57,6 +57,7 @@ _SCENARIO_MODULES = (
     "repro.scenarios.stacks",
     "repro.scenarios.fluid",
     "repro.scenarios.storm",
+    "repro.scenarios.pdes_sites",
 )
 
 

@@ -20,11 +20,18 @@ __all__ = ["FaultEvent", "FaultPlan"]
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled injection: ``injector.<kind>(**kwargs)`` at ``at``."""
+    """One scheduled injection: ``injector.<kind>(**kwargs)`` at ``at``.
+
+    ``group`` is the PDES site-group the faulted component lives in:
+    a partitioned run arms each entry only in the partition that owns
+    its group, so every verb executes exactly once, in the process that
+    holds the target objects.
+    """
 
     at: float
     kind: str
     kwargs: dict = field(default_factory=dict)
+    group: int = 0
 
 
 class _Injection:
@@ -49,13 +56,15 @@ class FaultPlan:
         self.events: list[FaultEvent] = []
         self.armed = False
 
-    def at(self, t: float, kind: str, **kwargs) -> "FaultPlan":
-        """Schedule ``injector.<kind>(**kwargs)`` at absolute time ``t``."""
+    def at(self, t: float, kind: str, group: int = 0, **kwargs) -> "FaultPlan":
+        """Schedule ``injector.<kind>(**kwargs)`` at absolute time ``t``;
+        ``group`` routes the entry to its owning PDES partition (ignored
+        by serial runs)."""
         if self.armed:
             raise RuntimeError("plan already armed")
         if not hasattr(self.injector, kind):
             raise ValueError(f"unknown fault kind {kind!r}")
-        self.events.append(FaultEvent(float(t), kind, dict(kwargs)))
+        self.events.append(FaultEvent(float(t), kind, dict(kwargs), int(group)))
         return self
 
     def random_churn(self, component_ids, start: float, stop: float,
@@ -80,13 +89,21 @@ class FaultPlan:
             self.at(min(stop, t + downtime), "restore", component_id=cid)
         return self
 
-    def arm(self) -> "FaultPlan":
+    def arm(self, partition=None) -> "FaultPlan":
         """Install every entry on the simulator calendar (fast-lane
-        callables — no process overhead per injection)."""
+        callables — no process overhead per injection).
+
+        With a :class:`~repro.sim.pdes.PartitionContext`, only the
+        entries whose ``group`` this partition owns are armed — the
+        verbs run in the process holding the faulted objects, and the
+        union over all partitions is exactly the serial schedule.
+        """
         if self.armed:
             raise RuntimeError("plan already armed")
         self.armed = True
         for event in sorted(self.events, key=lambda e: e.at):
+            if partition is not None and not partition.owns(event.group):
+                continue
             self.sim.call_at(event.at, _Injection(self.injector, event))
         return self
 

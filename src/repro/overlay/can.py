@@ -169,6 +169,7 @@ class CanNode(Component):
         self._m_replicas = self.metrics.counter("replicas.stored")
         self._m_splits = self.metrics.counter("splits")
         self._m_merges = self.metrics.counter("merges")
+        self._m_remerges = self.metrics.counter("remerges")
         self._m_handles = self.metrics.counter("handles.stored")
         self.rpc = RpcEndpoint(host.stack, host.udp.bind(port),
                                name=f"can:{self.node_id}",
@@ -181,8 +182,10 @@ class CanNode(Component):
         self.rpc.register("can.replica", self._on_replica)
         self.rpc.register("can.replica_ids", self._on_replica_ids)
         self.rpc.register("can.shed", self._on_shed)
+        self.rpc.register("can.remerge", self._on_remerge)
         self._pinger = None
         self._probing: set[str] = set()
+        self._remerging = False
 
     # -- lifecycle ------------------------------------------------------
     def _on_stop(self) -> None:
@@ -321,6 +324,7 @@ class CanNode(Component):
                 self._announce_to_neighbors()
                 self._expire_records()
                 self._check_neighbors()
+                self._maybe_remerge()
         except Interrupt:
             return
 
@@ -641,19 +645,7 @@ class CanNode(Component):
             target = self.neighbors[abutting[0]]
             self.zones.remove(zone)
             self.zones.append(keep)
-            shed_records = tuple(r for r in self.records.values()
-                                 if shed.contains(r.point))
-            for record in shed_records:
-                del self.records[record.host_name]
-            shed_handles: tuple = ()
-            if self.table is not None and self.handles:
-                arr = np.fromiter(self.handles, dtype=np.int64,
-                                  count=len(self.handles))
-                ids = self.table.handle_ids(arr)
-                in_shed = self.table.ids_in_zone(shed, ids)
-                picked = arr[np.isin(ids, in_shed)]
-                shed_handles = tuple(int(h) for h in picked)
-                self.handles.difference_update(shed_handles)
+            shed_records, shed_handles = self._extract_entries(shed)
             self._m_splits.add()
             self.sim.trace.event("can.split", node=self.node_id,
                                  load=load, target=target.node_id,
@@ -661,6 +653,25 @@ class CanNode(Component):
             self.sim.process(
                 self._shed_zone(target, shed, shed_records, shed_handles),
                 name=f"can-shed:{self.node_id}->{target.node_id}")
+
+    def _extract_entries(self, zone: Zone) -> tuple[tuple, tuple]:
+        """Remove and return the directory entries (full records + table
+        handles) falling inside ``zone`` — the transferable half of a
+        split or re-merge handoff."""
+        records = tuple(r for r in self.records.values()
+                        if zone.contains(r.point))
+        for record in records:
+            del self.records[record.host_name]
+        handles: tuple = ()
+        if self.table is not None and self.handles:
+            arr = np.fromiter(self.handles, dtype=np.int64,
+                              count=len(self.handles))
+            ids = self.table.handle_ids(arr)
+            inside = self.table.ids_in_zone(zone, ids)
+            picked = arr[np.isin(ids, inside)]
+            handles = tuple(int(h) for h in picked)
+            self.handles.difference_update(handles)
+        return records, handles
 
     def _shed_zone(self, target: NeighborInfo, zone: Zone,
                    records: tuple, handles: tuple):
@@ -689,6 +700,85 @@ class CanNode(Component):
         self._known_peers[info.node_id] = (info.ip, info.port)
         self._announce_to_neighbors()
         return ("absorbed", self.node_id)
+
+    # -- zone re-merge when load drains -------------------------------------
+    def _maybe_remerge(self) -> None:
+        """Reverse of hot-zone splitting: once a storm drains, hand a
+        near-empty zone back to a neighbor whose zone merges with it.
+
+        Hysteresis keeps split/merge from oscillating: we only offer a
+        zone at or below a quarter of ``hot_zone_limit``, and the
+        receiver refuses unless the merged zone would still sit at or
+        below half the limit after absorbing the entries.
+        """
+        if (self.hot_zone_limit is None or self._remerging
+                or not self.joined or len(self.zones) <= 1):
+            return
+        low_water = max(1, self.hot_zone_limit // 4)
+        for zone in list(self.zones):
+            if self.zone_load(zone) > low_water:
+                continue
+            candidates = sorted(
+                nid for nid, info in self.neighbors.items()
+                if any(nz.can_merge(zone) for nz in info.zones))
+            if not candidates:
+                continue
+            target = self.neighbors[candidates[0]]
+            self.zones.remove(zone)
+            records, handles = self._extract_entries(zone)
+            self._remerging = True
+            self.sim.process(
+                self._remerge_zone(target, zone, records, handles),
+                name=f"can-remerge:{self.node_id}->{target.node_id}")
+            return  # at most one offer per maintenance sweep
+
+    def _remerge_zone(self, target: NeighborInfo, zone: Zone,
+                      records: tuple, handles: tuple):
+        payload = _ShedPayload(self._my_info(), zone, records, handles)
+        try:
+            result = yield from self.rpc.call(target.ip, target.port,
+                                              "can.remerge", payload,
+                                              timeout=5.0)
+        except (RpcTimeout, RpcError):
+            result = None
+        finally:
+            self._remerging = False
+        if not result or result[0] != "merged":
+            # Refused (receiver too loaded / zones drifted) or the call
+            # failed: reabsorb so the directory entries survive.
+            self._absorb_zones([zone])
+            for record in records:
+                self.records[record.host_name] = record
+            self.handles.update(handles)
+            return
+        self._m_remerges.add()
+        self.sim.trace.event("can.remerge", node=self.node_id,
+                             target=target.node_id,
+                             entries=len(records) + len(handles),
+                             zones=len(self.zones))
+        self._announce_to_neighbors()
+        self._prune_non_neighbors()
+
+    def _on_remerge(self, payload: _ShedPayload, _src_ip, _src_port):
+        zone = payload.zone
+        merged_into = next((m for m in self.zones if m.can_merge(zone)), None)
+        if merged_into is None:
+            return ("refused", self.node_id)
+        if self.hot_zone_limit is not None:
+            incoming = len(payload.records) + len(payload.handles)
+            if (self.zone_load(merged_into) + incoming
+                    > self.hot_zone_limit // 2):
+                return ("refused", self.node_id)
+        self._absorb_zones([zone])
+        for record in payload.records:
+            self.records[record.host_name] = record
+        self.handles.update(payload.handles)
+        info = payload.shedder
+        info.last_seen = self.sim.now
+        self.neighbors[info.node_id] = info
+        self._known_peers[info.node_id] = (info.ip, info.port)
+        self._announce_to_neighbors()
+        return ("merged", self.node_id)
 
     def _admit(self, joiner: NeighborInfo) -> _JoinGrant:
         """Split the zone covering the joiner's point and grant half."""

@@ -24,9 +24,55 @@ from __future__ import annotations
 import bisect
 from zlib import crc32
 
-__all__ = ["RendezvousFleet"]
+__all__ = ["HashRing", "RendezvousFleet"]
 
 VNODES = 64
+
+
+class HashRing:
+    """The consistent-hash ring itself, built from server *names* only.
+
+    This is the static, driver-side view of the fleet assignment: it
+    needs no live server objects, so endpoint code (and PDES partitions
+    that own no rendezvous server) can compute the same primary/backup
+    ordering the fleet would. :class:`RendezvousFleet` builds its ring
+    through this class, so the two can never disagree on hashing.
+    """
+
+    def __init__(self, names: list[str], vnodes: int = VNODES) -> None:
+        if not names:
+            raise ValueError("ring needs at least one server name")
+        self.names = list(names)
+        self._ring: list[tuple[int, int]] = []  # (hash, server_index)
+        for idx, name in enumerate(self.names):
+            for v in range(vnodes):
+                self._ring.append((crc32(f"{name}#{v}".encode()), idx))
+        self._ring.sort()
+        self._keys = [h for h, _ in self._ring]
+
+    def index(self, name: str) -> int:
+        """Primary server index for ``name``: the first ring vnode
+        clockwise of the name's hash."""
+        h = crc32(name.encode())
+        return self._ring[bisect.bisect_right(self._keys, h)
+                          % len(self._ring)][1]
+
+    def order(self, name: str) -> list[int]:
+        """All server indices in ring-successor order from ``name``'s
+        hash — the primary first, then the failover sequence a crash of
+        each predecessor would fall through to."""
+        h = crc32(name.encode())
+        start = bisect.bisect_right(self._keys, h) % len(self._ring)
+        seen: set[int] = set()
+        out: list[int] = []
+        for step in range(len(self._ring)):
+            idx = self._ring[(start + step) % len(self._ring)][1]
+            if idx not in seen:
+                seen.add(idx)
+                out.append(idx)
+                if len(out) == len(self.names):
+                    break
+        return out
 
 
 class RendezvousFleet:
@@ -41,13 +87,9 @@ class RendezvousFleet:
             if s.table is not self.table:
                 raise ValueError("fleet servers must share one HostTable")
         self.sim = self.servers[0].sim
-        self._ring: list[tuple[int, int]] = []  # (hash, server_index)
-        for idx, server in enumerate(self.servers):
-            for v in range(vnodes):
-                key = f"{server.host.name}#{v}".encode()
-                self._ring.append((crc32(key), idx))
-        self._ring.sort()
-        self._keys = [h for h, _ in self._ring]
+        self.ring = HashRing([s.host.name for s in self.servers], vnodes)
+        self._ring = self.ring._ring
+        self._keys = self.ring._keys
         self.metrics = self.sim.metrics.scope("rvz.fleet")
         self._m_assigns = self.metrics.counter("assignments")
         self._m_failover = self.metrics.counter("assign_failovers")

@@ -36,7 +36,8 @@ import numpy as np
 from repro.exp.spec import scenario
 from repro.faults import FaultInjector
 from repro.nat.types import NatType
-from repro.overlay.rendezvous import _RegisterBatch
+from repro.overlay.rendezvous import (RENDEZVOUS_PORT, _KeepaliveBatch,
+                                      _RegisterBatch)
 from repro.overlay.rpc import RpcEndpoint, RpcError, RpcTimeout
 from repro.scenarios.builder import make_public_host
 from repro.scenarios.wavnet_env import WavnetEnvironment
@@ -64,6 +65,14 @@ class StormLane:
         self.rejected_batches = 0
         self.failed = 0
         self.done_at = -1.0
+        self.keepalive_sweeps = 0
+        self.keepalives_acked = 0
+        # Server assignment is the fleet's static consistent hash,
+        # computed through the env's ring so it needs no live server
+        # objects (the lane works inside a control-less PDES partition).
+        self._groups: dict[int, list[int]] = {}
+        for k, name in enumerate(self.names):
+            self._groups.setdefault(env.assign_rendezvous(name), []).append(k)
         host = make_public_host(sim, env.cloud, f"lane{region}",
                                 f"7.1.{region // 250}.{(region % 250) + 1}",
                                 network="7.0.0.0/8")
@@ -100,21 +109,17 @@ class StormLane:
         fleet's consistent-hash assignment, with jittered backoff when a
         server's admission bucket sheds the batch. Returns the number of
         endpoints acknowledged."""
-        fleet = self.env.fleet
-        groups: dict[int, list[int]] = {}
-        for k, name in enumerate(self.names):
-            groups.setdefault(fleet.assign_index(name), []).append(k)
         registered = 0
-        for idx in sorted(groups):
-            server = fleet.servers[idx]
-            ks = np.asarray(groups[idx], dtype=np.int64)
+        for idx in sorted(self._groups):
+            server_ip = self.env.rendezvous_addr(idx)
+            ks = np.asarray(self._groups[idx], dtype=np.int64)
             for start in range(0, len(ks), batch_size):
                 chunk = ks[start:start + batch_size]
                 body = self._batch(chunk)
                 for attempt in range(max_attempts):
                     try:
                         yield from self.rpc.call(
-                            server.ip, server.port, "rvz.register_batch",
+                            server_ip, RENDEZVOUS_PORT, "rvz.register_batch",
                             body, timeout=10.0, retries=2)
                     except RpcError as exc:
                         if "AdmissionReject" not in str(exc):
@@ -133,6 +138,30 @@ class StormLane:
                     self.failed += len(chunk)
         self.done_at = self.sim.now
         return registered
+
+    def keepalive_loop(self, interval: float = 20.0, batch_size: int = 4096):
+        """Process: batched keepalive sweeps for every endpoint of this
+        lane. One calendar timer and a handful of ``rvz.keepalive_batch``
+        RPCs per interval replace 10^5-10^6 per-host keepalive timers —
+        the per-lane scheduler that keeps calendar pressure flat as the
+        table grows."""
+        while True:
+            yield self.sim.timeout(interval)
+            for idx in sorted(self._groups):
+                server_ip = self.env.rendezvous_addr(idx)
+                ks = self._groups[idx]
+                for start in range(0, len(ks), batch_size):
+                    names = tuple(self.names[k]
+                                  for k in ks[start:start + batch_size])
+                    try:
+                        result = yield from self.rpc.call(
+                            server_ip, RENDEZVOUS_PORT,
+                            "rvz.keepalive_batch", _KeepaliveBatch(names),
+                            timeout=10.0, retries=2)
+                    except (RpcError, RpcTimeout):
+                        continue
+                    self.keepalives_acked += int(result[1])
+            self.keepalive_sweeps += 1
 
 
 def build_storm_lanes(sim, env: WavnetEnvironment, n_endpoints: int,
@@ -193,7 +222,8 @@ def registration_storm(seed: int = 0, n_endpoints: int = 10_000,
                        replication_factor: int | None = 1,
                        hot_zone_limit: int | None = None,
                        punch_pairs: int = 2, outage_region: int = 0,
-                       settle: float = 2.0):
+                       settle: float = 2.0,
+                       keepalive_interval: float | None = None):
     """Fill the table, kill a region, reconnect it — see module docs."""
     sim = Simulator(seed=seed)
     env = WavnetEnvironment(sim, n_rendezvous=n_rendezvous,
@@ -213,6 +243,10 @@ def registration_storm(seed: int = 0, n_endpoints: int = 10_000,
     filled = sum(sim.run_coro(_join(procs)))
     fill_elapsed = max(sim.now - t0, 1e-9)
     loads_filled = env.fleet.publish_load()
+    if keepalive_interval is not None:
+        for lane in lanes:
+            sim.process(lane.keepalive_loop(keepalive_interval),
+                        name=f"storm-keepalive:r{lane.region}")
 
     # Phase 2: regional outage (table-resident — nothing materialized).
     injector = FaultInjector(sim)
@@ -233,7 +267,7 @@ def registration_storm(seed: int = 0, n_endpoints: int = 10_000,
         sim.run(until=sim.now + settle)
     loads_final = env.fleet.publish_load()
 
-    accepted = rejected = splits = merges = handles = 0
+    accepted = rejected = splits = merges = remerges = handles = 0
     for server in env.rendezvous:
         rvz = sim.metrics.scope(f"{server.host.name}.rvz")
         accepted += int(rvz.value("admission.accepted"))
@@ -241,6 +275,7 @@ def registration_storm(seed: int = 0, n_endpoints: int = 10_000,
         can = sim.metrics.scope(f"{server.can.node_id}.can")
         splits += int(can.value("splits"))
         merges += int(can.value("merges"))
+        remerges += int(can.value("remerges"))
         handles += int(can.value("handles.stored"))
     coalesced = sum(int(sim.metrics.value(f"lane{r}.rpc.retries_coalesced"))
                     for r in range(n_regions))
@@ -263,8 +298,11 @@ def registration_storm(seed: int = 0, n_endpoints: int = 10_000,
         "admission_rejected": rejected,
         "retries_coalesced": coalesced,
         "punch_latency_s": punch_latencies,
+        "keepalive_sweeps": sum(lane.keepalive_sweeps for lane in lanes),
+        "keepalives_acked": sum(lane.keepalives_acked for lane in lanes),
         "can_splits": splits,
         "can_merges": merges,
+        "can_remerges": remerges,
         "handles_stored": handles,
         "fleet_load_filled": loads_filled,
         "fleet_load_final": loads_final,

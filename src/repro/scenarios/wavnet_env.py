@@ -16,7 +16,7 @@ from repro.exp.spec import scenario
 from repro.net.addresses import IPv4Address
 from repro.net.stack import Host
 from repro.net.wan import WanCloud
-from repro.overlay.fleet import RendezvousFleet
+from repro.overlay.fleet import HashRing, RendezvousFleet
 from repro.overlay.rendezvous import RendezvousServer
 from repro.overlay.resources import ResourceSpec
 from repro.scenarios.builder import NattedSite, make_natted_site, make_public_host
@@ -54,22 +54,40 @@ class WavnetEnvironment:
                  replication_factor: Optional[int] = None,
                  hot_zone_limit: Optional[int] = None,
                  expiry_interval: Optional[float] = None,
-                 retry_concurrency: Optional[int] = None) -> None:
+                 retry_concurrency: Optional[int] = None,
+                 build_control: bool = True,
+                 control_partition: int = 0) -> None:
         self.sim = sim
         self.cloud = WanCloud(sim, default_latency=default_latency)
-        self.stun = StunServerPair(sim, self.cloud)
         self.spec = spec or ResourceSpec()
         self.virtual_network = virtual_network
+        self.n_rendezvous = n_rendezvous
         self.rendezvous: list[RendezvousServer] = []
         self.hosts: dict[str, WavnetHost] = {}
         self.retry_concurrency = retry_concurrency
         self._next_vip = 1
         self._next_pub = 1
+        # Driver-side view of the fleet assignment: pure name hashing,
+        # identical with or without live server objects.
+        self.ring = HashRing([f"rvz{i}" for i in range(n_rendezvous)])
         # Single source of truth for every registered endpoint; the
         # rendezvous servers all own slices of it (fleet sharding).
         self.table = HostTable(sim, spec=self.spec)
         self.table.materializer = self._materialize_host
         self.table.dematerializer = self._dematerialize_host
+        if not build_control:
+            # PDES: the control plane (STUN pair + rendezvous servers +
+            # the authoritative table mutations) lives in another
+            # partition's process; here those sites are boundary
+            # declarations and their addresses are derived, not built.
+            self.stun = None
+            self.fleet = None
+            for site in ("stun.primary", "stun.alt"):
+                self.cloud.declare_remote_site(site, control_partition)
+            for i in range(n_rendezvous):
+                self.cloud.declare_remote_site(f"rvz{i}", control_partition)
+            return
+        self.stun = StunServerPair(sim, self.cloud)
         for i in range(n_rendezvous):
             rhost = make_public_host(sim, self.cloud, f"rvz{i}", f"9.1.0.{i + 1}",
                                      network="9.1.0.0/24")
@@ -98,11 +116,41 @@ class WavnetEnvironment:
         self._next_vip += 1
         return vip
 
+    # -- fleet addressing (works with or without server objects) -------
+    def rendezvous_addr(self, index: int) -> IPv4Address:
+        """IP of rendezvous server ``index``; derived from the fixed
+        addressing plan, so control-less PDES partitions agree with the
+        partition that actually built the server."""
+        if not 0 <= index < self.n_rendezvous:
+            raise IndexError(f"rendezvous index {index} out of range")
+        if self.rendezvous:
+            return self.rendezvous[index].ip
+        return IPv4Address(f"9.1.0.{index + 1}")
+
+    @property
+    def stun_primary_ip(self) -> IPv4Address:
+        return self.stun.primary_ip if self.stun else IPv4Address("9.9.9.1")
+
+    def assign_rendezvous(self, name: str) -> int:
+        """Fleet consistent-hash assignment for an endpoint name (static
+        ring — identical to ``fleet.assign_index`` while all servers are
+        up, and available without server objects)."""
+        return self.ring.index(name)
+
+    # -- pdes boundary -------------------------------------------------
+    def declare_remote_host(self, name: str, partition: int) -> None:
+        """Mark an endpoint whose object stack lives in another PDES
+        partition: its cloud site becomes a boundary declaration. The
+        endpoint's table row should still be declared locally (via
+        :meth:`add_endpoint`) so address allocation stays in lock-step
+        across partitions."""
+        self.cloud.declare_remote_site(name, partition)
+
     def add_host(
         self,
         name: str,
         nat_type: str = "port-restricted",
-        rendezvous_index: int = 0,
+        rendezvous_index: Optional[int] = None,
         access_bandwidth_bps: float = 100e6,
         access_latency: float = 0.0005,
         udp_timeout: float = 60.0,
@@ -139,8 +187,15 @@ class WavnetEnvironment:
         host_id = self.table.ensure_row(name)
         if self.table.site_config(host_id):
             raise ValueError(f"endpoint {name!r} already declared")
-        rendezvous_index = site_config.get("rendezvous_index", 0)
-        if not 0 <= rendezvous_index < len(self.rendezvous):
+        # Fleet-aware server selection: a ``None`` (or absent) index
+        # means "hash me onto the ring" — the same assignment the fleet
+        # itself would compute. An explicit integer keeps the legacy
+        # static pinning.
+        rendezvous_index = site_config.get("rendezvous_index")
+        fleet_assigned = rendezvous_index is None
+        if fleet_assigned:
+            rendezvous_index = self.ring.index(name)
+        if not 0 <= rendezvous_index < self.n_rendezvous:
             raise IndexError(f"rendezvous_index {rendezvous_index} out of range")
         pub_index = self._next_pub
         self._next_pub += 1
@@ -155,6 +210,8 @@ class WavnetEnvironment:
                    tcp_recv_buf=262144, cpu_factor=1.0)
         driver_kwargs = {k: v for k, v in site_config.items() if k not in cfg}
         cfg.update({k: v for k, v in site_config.items() if k in cfg})
+        cfg["rendezvous_index"] = rendezvous_index
+        cfg["fleet_assigned"] = fleet_assigned
         cfg["pub_index"] = pub_index
         cfg["driver_kwargs"] = driver_kwargs
         self.table.set_site_config(host_id, **cfg)
@@ -169,7 +226,8 @@ class WavnetEnvironment:
         if not cfg:
             raise KeyError(f"endpoint {name!r} was never declared")
         pub_index = cfg["pub_index"]
-        rvz = self.rendezvous[cfg["rendezvous_index"]]
+        rendezvous_index = cfg["rendezvous_index"]
+        rendezvous_ip = self.rendezvous_addr(rendezvous_index)
         stack_kwargs = dict(tcp_mss=cfg["tcp_mss"],
                             tcp_send_buf=cfg["tcp_send_buf"],
                             tcp_recv_buf=cfg["tcp_recv_buf"],
@@ -194,18 +252,27 @@ class WavnetEnvironment:
                 udp_timeout=cfg["udp_timeout"],
                 **stack_kwargs)
             host = site.hosts[0]
-        # Every other rendezvous server is a registration failover target.
+        # Every other rendezvous server is a registration failover
+        # target: fleet-assigned endpoints fail over in ring-successor
+        # order (the server that inherits their ring arc), pinned ones
+        # in index order.
         driver_kwargs = dict(cfg["driver_kwargs"])
-        driver_kwargs.setdefault("backup_rendezvous_ips",
-                                 [s.ip for s in self.rendezvous if s is not rvz])
+        if cfg.get("fleet_assigned"):
+            backups = [self.rendezvous_addr(j)
+                       for j in self.ring.order(name)[1:]]
+        else:
+            backups = [self.rendezvous_addr(j)
+                       for j in range(self.n_rendezvous)
+                       if j != rendezvous_index]
+        driver_kwargs.setdefault("backup_rendezvous_ips", backups)
         if self.retry_concurrency is not None:
             driver_kwargs.setdefault("retry_concurrency", self.retry_concurrency)
         driver = WavnetDriver(
             host,
             virtual_ip=IPv4Address(int(self.table.virtual_ip[host_id])),
             virtual_network=self.virtual_network,
-            rendezvous_ip=rvz.ip,
-            stun_server_ip=self.stun.primary_ip,
+            rendezvous_ip=rendezvous_ip,
+            stun_server_ip=self.stun_primary_ip,
             attrs=cfg["attrs"],
             name=name,
             pulse_interval=cfg["pulse_interval"],
@@ -214,6 +281,13 @@ class WavnetEnvironment:
         wav_host = WavnetHost(host=host, driver=driver, site=site)
         self.hosts[wav_host.name] = wav_host
         return wav_host
+
+    def build_declared(self, name: str) -> WavnetHost:
+        """Construct (without starting) the full stack for an endpoint
+        previously declared via :meth:`add_endpoint` — the PDES path:
+        every partition declares every endpoint (lock-step address
+        allocation), then builds only the ones it owns."""
+        return self._build_host(name)
 
     # -- lazy materialization ------------------------------------------
     def materialize(self, name: str) -> WavnetHost:
