@@ -70,7 +70,8 @@ class ApacheBench:
     def __init__(self, host: Host, server_ip: IPv4Address, path: str = "/file1k",
                  concurrency: int = 1, port: int = HTTP_PORT,
                  connect_timeout: float = 10.0, fidelity: str = "packet",
-                 service_time: float = 50e-6, response_path=None) -> None:
+                 service_time: float = 50e-6, response_path=None,
+                 cc: Optional[str] = None) -> None:
         if fidelity not in ("packet", "fluid"):
             raise ValueError(f"unknown fidelity {fidelity!r}")
         self.host = host
@@ -86,6 +87,8 @@ class ApacheBench:
         self.fidelity = fidelity
         self.service_time = service_time
         self.response_path = response_path
+        # cc=None: stack default (packet) / historical Mathis cap (fluid).
+        self.cc = cc
         self.report = AbReport()
         self._stop = False
 
@@ -144,8 +147,8 @@ class ApacheBench:
         counting stops once the doubled window would exceed what the
         path can carry per RTT — past that point the transfer is
         rate-bound and the fluid flow models it alone."""
+        from repro.net.cc import slow_start_rounds
         from repro.net.fluid import FluidAborted
-        from repro.net.tcp import INITIAL_CWND_SEGMENTS
 
         sim = self.host.sim
         fluid = getattr(sim, "fluid", None)
@@ -163,18 +166,13 @@ class ApacheBench:
         yield sim.timeout(self.service_time)
         window = min(self.host.tcp.send_buf, self.host.tcp.recv_buf)
         per_rtt = min(fluid.path_rate(path) * path.rtt / 8.0, window)
-        sent, cwnd = 0, INITIAL_CWND_SEGMENTS * path.mss
-        rounds = 1
-        while sent + cwnd < size and cwnd < per_rtt:
-            sent += cwnd
-            cwnd *= 2
-            rounds += 1
+        rounds, sent = slow_start_rounds(size, path.mss, per_rtt)
         if rounds > 1:
             yield sim.timeout((rounds - 1) * path.rtt)
         flow = fluid.open(path=path, size_bytes=size - sent, ramp=False,
                           send_buf=self.host.tcp.send_buf,
                           recv_buf=self.host.tcp.recv_buf,
-                          name=f"ab:{self.host.name}")
+                          name=f"ab:{self.host.name}", cc=self.cc)
         try:
             yield flow.done
         except FluidAborted:
@@ -189,7 +187,7 @@ class ApacheBench:
     def _one_request(self):
         sim = self.host.sim
         t_start = sim.now
-        conn = self.host.tcp.connect(self.server_ip, self.port)
+        conn = self.host.tcp.connect(self.server_ip, self.port, cc=self.cc)
         deadline = sim.timeout(self.connect_timeout)
         established = conn.wait_established()
         yield sim.any_of([established, deadline])

@@ -51,14 +51,20 @@ def netserver(host: Host, port: int = NETPERF_PORT):
 def netperf_stream(host: Host, dst_ip: IPv4Address,
                    duration: float = 10.0, interval: float = 0.5,
                    chunk: int = 65536, port: int = NETPERF_PORT,
-                   fidelity: str = "packet"):
+                   fidelity: str = "packet", cc: str | None = None,
+                   cc_trace: str | None = None):
     """Process: TCP_STREAM from ``host`` to a :func:`netserver` at
     ``dst_ip`` for ``duration`` seconds; returns NetperfResult.
 
     ``fidelity="fluid"`` runs the stream as one duration-mode fluid flow
     (no netserver needed); interim rates come from the solver's
     allocation and land in the same ``<host>.netperf.rate_mbps``
-    series."""
+    series.
+
+    ``cc`` picks the congestion-control algorithm (``None`` = stack
+    default / historical fluid Mathis cap). ``cc_trace`` enables the
+    per-flow ``<stack>.tcp.<label>.{cwnd,ssthresh,srtt_ms}`` time
+    series under that label (packet fidelity only)."""
     sim = host.sim
     if fidelity == "fluid":
         fluid = getattr(sim, "fluid", None)
@@ -71,7 +77,7 @@ def netperf_stream(host: Host, dst_ip: IPv4Address,
         flow = fluid.open(host.name, dst_ip, size_bytes=None,
                           send_buf=host.tcp.send_buf,
                           recv_buf=host.tcp.recv_buf,
-                          name=f"netperf:{host.name}")
+                          name=f"netperf:{host.name}", cc=cc)
         rate_series = sim.metrics.series(f"{host.name}.netperf.rate_mbps")
         t_end = sim.now + duration
         last = flow.progress()
@@ -89,7 +95,9 @@ def netperf_stream(host: Host, dst_ip: IPv4Address,
         return result
     if fidelity != "packet":
         raise ValueError(f"unknown fidelity {fidelity!r}")
-    conn = host.tcp.connect(dst_ip, port)
+    conn = host.tcp.connect(dst_ip, port, cc=cc)
+    if cc_trace is not None:
+        conn.enable_cc_trace(cc_trace)
     try:
         yield conn.wait_established()
     except ConnectionReset:

@@ -45,7 +45,7 @@ def ttcp_receiver(host: Host, port: int = TTCP_PORT):
 
 def ttcp_transfer(host: Host, dst_ip: IPv4Address, total_bytes: int,
                   buf_size: int = 16384, port: int = TTCP_PORT,
-                  fidelity: str = "packet"):
+                  fidelity: str = "packet", cc: str | None = None):
     """Process: transmit ``total_bytes``; returns TtcpResult (sender side,
     timed from first write to last byte acknowledged — what ttcp -t reports).
 
@@ -53,7 +53,12 @@ def ttcp_transfer(host: Host, dst_ip: IPv4Address, total_bytes: int,
     (requires a :class:`~repro.net.fluid.FluidNetwork` with a route for
     ``(host.name, dst_ip)``): no receiver process is needed, and the
     result carries the solver's completion time instead of per-frame
-    dynamics."""
+    dynamics.
+
+    ``cc`` names a registered congestion-control algorithm
+    (:func:`repro.net.cc.cc_names`); ``None`` keeps the host stack's
+    default at packet fidelity and the plane's historical Mathis loss
+    response at fluid fidelity."""
     sim = host.sim
     if fidelity == "fluid":
         fluid = getattr(sim, "fluid", None)
@@ -66,7 +71,7 @@ def ttcp_transfer(host: Host, dst_ip: IPv4Address, total_bytes: int,
         flow = fluid.open(host.name, dst_ip, size_bytes=total_bytes,
                           send_buf=host.tcp.send_buf,
                           recv_buf=host.tcp.recv_buf,
-                          name=f"ttcp:{host.name}")
+                          name=f"ttcp:{host.name}", cc=cc)
         yield flow.done
         # flow.done fires rtt/2 after the last byte leaves the sender
         # (propagation); ttcp's clock additionally waits for the final
@@ -75,7 +80,7 @@ def ttcp_transfer(host: Host, dst_ip: IPv4Address, total_bytes: int,
         return TtcpResult(total_bytes, elapsed)
     if fidelity != "packet":
         raise ValueError(f"unknown fidelity {fidelity!r}")
-    conn = host.tcp.connect(dst_ip, port)
+    conn = host.tcp.connect(dst_ip, port, cc=cc)
     yield conn.wait_established()
     t0 = sim.now
     yield from stream_bytes(conn, total_bytes, chunk=buf_size)

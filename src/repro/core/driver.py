@@ -433,16 +433,18 @@ class WavnetDriver(Component):
         patch(port, self.bridge.new_port(f"{self.name}.br0.{label}"))
 
     def open_transfer(self, dst_ip, nbytes: int, fidelity: str = "packet",
-                      **kwargs):
+                      cc: Optional[str] = None, **kwargs):
         """Process: one bulk transfer to a virtual IP, at either
         fidelity, behind one API. ``fidelity="packet"`` runs a real ttcp
         over the tunnel (every frame simulated); ``"fluid"`` rides the
         flow-level plane (requires a FluidNetwork with a registered
-        route for this host). Returns the app-level TtcpResult."""
+        route for this host). ``cc`` names a registered
+        congestion-control algorithm for the transfer (``None`` = host
+        stack default). Returns the app-level TtcpResult."""
         from repro.apps.ttcp import ttcp_transfer
 
         result = yield from ttcp_transfer(self.host, dst_ip, nbytes,
-                                          fidelity=fidelity, **kwargs)
+                                          fidelity=fidelity, cc=cc, **kwargs)
         return result
 
     def _notify_fluid_conduit(self, peer_name: str, up: bool) -> None:

@@ -58,6 +58,7 @@ _SCENARIO_MODULES = (
     "repro.scenarios.fluid",
     "repro.scenarios.storm",
     "repro.scenarios.pdes_sites",
+    "repro.scenarios.fairness",
 )
 
 

@@ -1,0 +1,455 @@
+"""Pluggable congestion-control plane.
+
+Every throughput result in the paper (ttcp Fig 6, netperf Figs 7-9,
+ApacheBench Tables III-IV, migration Table V) is TCP-shaped, and the
+fairness scenario family (``repro.scenarios.fairness``) asks how
+L2-over-UDP tunneling reshapes TCP dynamics per algorithm. Congestion
+control is therefore a *strategy plane*: one
+:class:`CongestionControl` object per :class:`~repro.net.tcp.TcpConnection`
+owns the ``cwnd``/``ssthresh`` state and reacts to the transport's loss
+and ACK events, and the same strategy class answers the fluid plane's
+steady-state question (:meth:`CongestionControl.rate_cap`) so packet and
+flow-level fidelities agree per algorithm.
+
+The transport drives exactly four event hooks:
+
+* :meth:`~CongestionControl.on_ack` — a cumulative ACK advanced
+  ``snd_una`` outside fast recovery (window growth lives here, gated by
+  RFC 2861 congestion-window validation);
+* :meth:`~CongestionControl.on_dup_ack` — the third duplicate ACK
+  inferred a loss; set ``ssthresh``/``cwnd`` for the recovery episode;
+* :meth:`~CongestionControl.on_rto` — the retransmission timer fired;
+* :meth:`~CongestionControl.on_loss_exit` — fast recovery completed.
+
+Algorithms register by name (:func:`register`); the transport resolves
+``cc="..."`` through :func:`cc_algorithm`, so unknown names fail with
+the list of registered algorithms. Three algorithms ship:
+
+* ``reno`` — NewReno-style AIMD (multiplicative decrease 0.5);
+* ``cubic`` — RFC 8312 window growth with HyStart slow-start exit and
+  the TCP-friendliness floor (decrease 0.7) — the default, as in Linux;
+* ``bbr`` — a BBR-like pacing model: windowed-max delivery-rate filter,
+  min-RTT BDP tracking, a pacing-gain probe cycle, and **no
+  loss-coupled cwnd collapse** (duplicate ACKs trigger retransmission
+  but not multiplicative decrease).
+
+The shared slow-start ramp model (:func:`slow_start_rounds`) is the one
+account of "how many RTTs does a cold connection spend before the
+window clears this transfer" — used by the fluid-mode ApacheBench and
+anywhere else latency-bound short transfers are charged analytically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = [
+    "BbrCC",
+    "CongestionControl",
+    "CubicCC",
+    "INITIAL_CWND_SEGMENTS",
+    "RenoCC",
+    "cc_algorithm",
+    "cc_class",
+    "cc_names",
+    "mathis_rate_bps",
+    "register",
+    "slow_start_rounds",
+    "window_rate_bps",
+]
+
+# Initial congestion window, in segments (all algorithms).
+INITIAL_CWND_SEGMENTS = 3
+
+
+def window_rate_bps(send_buf: int, recv_buf: int, rtt: float) -> float:
+    """Steady-state throughput ceiling from socket buffers: one window
+    per round trip, bounded by the smaller of the two buffers."""
+    return min(send_buf, recv_buf) * 8.0 / rtt
+
+
+def mathis_rate_bps(mss: int, rtt: float, loss: float) -> float:
+    """Mathis et al. steady-state TCP throughput under i.i.d. loss
+    ``p``: rate = (MSS/RTT) * C/sqrt(p), C ≈ 1.22."""
+    if loss <= 0.0:
+        return float("inf")
+    return mss * 8.0 * 1.22 / (rtt * (loss ** 0.5))
+
+
+def slow_start_rounds(size_bytes: int, mss: int, per_rtt_bytes: float,
+                      iw_segments: int = INITIAL_CWND_SEGMENTS) -> tuple[int, int]:
+    """Slow-start round accounting for a cold connection shipping
+    ``size_bytes``: round k carries ``IW * 2^(k-1)`` bytes, one RTT
+    each. Counting stops once the doubled window would exceed
+    ``per_rtt_bytes`` (what the path can carry per RTT) — past that the
+    transfer is rate-bound, not round-bound.
+
+    Returns ``(rounds, bytes_before_final_round)``: the number of
+    rounds charged (>= 1) and how many bytes the counted rounds already
+    shipped before the final (residual) round."""
+    sent, cwnd = 0, iw_segments * mss
+    rounds = 1
+    while sent + cwnd < size_bytes and cwnd < per_rtt_bytes:
+        sent += cwnd
+        cwnd *= 2
+        rounds += 1
+    return rounds, sent
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(name: str):
+    """Class decorator: register a :class:`CongestionControl` subclass
+    under ``name`` (the value apps pass as ``cc=``)."""
+    def deco(cls: type) -> type:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+    return deco
+
+
+def cc_names() -> list[str]:
+    """Registered algorithm names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def cc_class(name: str) -> type:
+    """Resolve an algorithm name to its strategy class."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}") from None
+
+
+def cc_algorithm(name: str, conn) -> "CongestionControl":
+    """Instantiate the named strategy bound to ``conn``."""
+    return cc_class(name)(conn)
+
+
+# ----------------------------------------------------------------------
+# Strategy interface
+# ----------------------------------------------------------------------
+
+class CongestionControl:
+    """Per-connection congestion-control strategy.
+
+    Owns ``cwnd`` and ``ssthresh`` (bytes); the connection exposes them
+    as delegating properties so existing readers are untouched. The
+    bound ``conn`` gives strategies read access to path state the
+    transport already tracks (``srtt``, ``_min_rtt``,
+    ``_last_rtt_sample``, ``bytes_acked_total``, ``sim.now``)."""
+
+    name = "base"
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+        self.mss: int = conn.mss
+        self.cwnd: int = INITIAL_CWND_SEGMENTS * self.mss
+        # Initial ssthresh is effectively unbounded (as in Linux): slow
+        # start runs until the first loss or the receiver window binds.
+        self.ssthresh: int = 1 << 30
+
+    # -- event hooks (driven by TcpConnection) --------------------------
+    def on_ack(self, acked: int, flight_before: int) -> None:
+        """A cumulative ACK advanced ``snd_una`` by ``acked`` bytes
+        outside fast recovery. ``flight_before`` is the pre-ACK flight;
+        window growth applies congestion-window validation (RFC 2861):
+        only grow when the window was actually the binding constraint."""
+        raise NotImplementedError
+
+    def on_dup_ack(self, flight: int) -> None:
+        """Third duplicate ACK: a loss was inferred. Set ``ssthresh``
+        and the ``cwnd`` the recovery episode runs under."""
+        raise NotImplementedError
+
+    def on_rto(self, flight: int) -> None:
+        """Retransmission timeout with ``flight`` unacked bytes."""
+        raise NotImplementedError
+
+    def on_loss_exit(self) -> None:
+        """Fast recovery completed (ACK covered ``recover``)."""
+        self.cwnd = self.ssthresh
+
+    def pacing_rate(self) -> Optional[float]:
+        """Bytes/second the sender's micro-burst pacer should spread
+        segments at, or ``None`` for the default window/RTT heuristic
+        (2 windows per RTT). Only rate-based algorithms override this."""
+        return None
+
+    # -- fluid-plane steady state ---------------------------------------
+    @staticmethod
+    def rate_cap(mss: int, rtt: float, loss: float) -> float:
+        """Steady-state goodput cap (bits/s) this algorithm sustains on
+        a path with i.i.d. loss ``loss`` — the loss-response curve the
+        fluid solver applies on top of window and fair-share caps."""
+        raise NotImplementedError
+
+
+@register("reno")
+class RenoCC(CongestionControl):
+    """NewReno-style AIMD: slow start, linear congestion avoidance,
+    multiplicative decrease 0.5."""
+
+    def on_ack(self, acked: int, flight_before: int) -> None:
+        if flight_before < self.cwnd - self.mss:
+            return  # window was not the binding constraint (RFC 2861)
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(acked, self.mss)  # slow start
+        else:
+            self.cwnd += max(self.mss * self.mss // self.cwnd, 1)
+
+    def on_dup_ack(self, flight: int) -> None:
+        self.ssthresh = max(flight // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh + 3 * self.mss
+
+    def on_rto(self, flight: int) -> None:
+        if flight <= 4 * self.mss:
+            # Tail loss: keep half the window (TLP-style) instead of
+            # collapsing ssthresh to the tiny residual flight.
+            self.ssthresh = max(self.cwnd // 2, 2 * self.mss)
+        else:
+            self.ssthresh = max(int(flight * 0.5), 2 * self.mss)
+        self.cwnd = self.mss
+
+    @staticmethod
+    def rate_cap(mss: int, rtt: float, loss: float) -> float:
+        return mathis_rate_bps(mss, rtt, loss)
+
+
+@register("cubic")
+class CubicCC(CongestionControl):
+    """RFC 8312 CUBIC: cubic window growth anchored at w_max, HyStart
+    delay-increase slow-start exit, TCP-friendliness floor, decrease
+    factor 0.7."""
+
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, conn) -> None:
+        super().__init__(conn)
+        self._wmax = 0.0                    # segments
+        self._epoch: Optional[float] = None
+
+    def _note_loss_window(self, flight: int) -> None:
+        """Record w_max and restart the cubic epoch at a loss event."""
+        if flight > 0:
+            self._wmax = flight / self.mss
+        self._epoch = self.conn.sim.now
+
+    def _hystart_exit(self) -> bool:
+        """HyStart delay-increase heuristic: once queueing pushes the RTT
+        an eighth (>= 4 ms) above the path minimum, slow start has found
+        the pipe — exit before overflowing the bottleneck queue."""
+        conn = self.conn
+        if conn._min_rtt is None or conn._last_rtt_sample is None:
+            return False
+        if self.cwnd < 16 * self.mss:
+            return False  # let tiny flows ramp unhindered
+        threshold = conn._min_rtt + max(conn._min_rtt / 8, 0.004)
+        return conn._last_rtt_sample > threshold
+
+    def _cubic_grow(self) -> None:
+        """Per-ACK congestion-avoidance growth toward the cubic curve."""
+        now = self.conn.sim.now
+        if self._epoch is None:
+            self._epoch = now
+            self._wmax = max(self._wmax, self.cwnd / self.mss)
+        t = now - self._epoch
+        k = (self._wmax * (1.0 - self.BETA) / self.C) ** (1.0 / 3.0)
+        target = self.C * (t - k) ** 3 + self._wmax
+        cur = self.cwnd / self.mss
+        if target > cur:
+            # Close the gap within ~one RTT's worth of ACKs, at most one
+            # segment per ACK (standard cubic pacing).
+            self.cwnd += max(min(int(self.mss * (target - cur) / cur), self.mss), 1)
+        else:
+            # TCP-friendliness floor: Reno-rate growth.
+            self.cwnd += max(self.mss * self.mss // self.cwnd, 1)
+
+    def on_ack(self, acked: int, flight_before: int) -> None:
+        if flight_before < self.cwnd - self.mss:
+            return  # window was not the binding constraint (RFC 2861)
+        if self.cwnd < self.ssthresh:
+            if self._hystart_exit():
+                self.ssthresh = self.cwnd  # leave slow start early
+            else:
+                self.cwnd += min(acked, self.mss)  # slow start
+        else:
+            self._cubic_grow()
+
+    def on_dup_ack(self, flight: int) -> None:
+        self._note_loss_window(flight)
+        self.ssthresh = max(int(flight * self.BETA), 2 * self.mss)
+        self.cwnd = self.ssthresh + 3 * self.mss
+
+    def on_rto(self, flight: int) -> None:
+        self._note_loss_window(max(flight, self.cwnd if flight <= 4 * self.mss else 0))
+        if flight <= 4 * self.mss:
+            # Tail loss: keep half the window (TLP-style).
+            self.ssthresh = max(self.cwnd // 2, 2 * self.mss)
+        else:
+            self.ssthresh = max(int(flight * self.BETA), 2 * self.mss)
+        self.cwnd = self.mss
+
+    @staticmethod
+    def rate_cap(mss: int, rtt: float, loss: float) -> float:
+        """RFC 8312 average-window response function, floored at Reno's
+        Mathis rate (TCP friendliness). Derivation: a loss cycle drops
+        the window to ``beta*Wmax`` and climbs back in ``K`` seconds
+        with ``K = ((1-beta) Wmax / C)^(1/3)``; the average window over
+        the cycle is ``Wmax (3+beta)/4``, and the cycle carries ``1/p``
+        segments."""
+        if loss <= 0.0:
+            return float("inf")
+        beta, c = CubicCC.BETA, CubicCC.C
+        wmax = ((4.0 * rtt / (loss * (3.0 + beta))) ** 0.75
+                * (c / (1.0 - beta)) ** 0.25)
+        cubic = wmax * (3.0 + beta) / 4.0 * mss * 8.0 / rtt
+        return max(cubic, mathis_rate_bps(mss, rtt, loss))
+
+
+@register("bbr")
+class BbrCC(CongestionControl):
+    """BBR-like pacing model.
+
+    Tracks the path's bottleneck bandwidth as a windowed max over
+    per-round delivery-rate samples and the propagation delay as the
+    connection's minimum RTT, then paces at ``gain * btl_bw`` while
+    holding ``cwnd = cwnd_gain * BDP``. STARTUP doubles the rate every
+    round (gain 2/ln2) until the bandwidth filter plateaus, then the
+    flow enters PROBE_BW and cycles pacing gains (one probe round, one
+    drain round, six cruise rounds). Loss events retransmit (the
+    transport's SACK machinery is unchanged) but do **not** collapse the
+    window — the defining BBR property the fairness scenarios measure
+    against loss-based algorithms.
+
+    Rounds are delimited by ``snd_una`` crossing the round-start
+    ``snd_nxt``, the standard packet-conservation round marker."""
+
+    STARTUP_GAIN = 2.885          # 2/ln2
+    CWND_GAIN = 2.0
+    CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    BW_WINDOW = 10                # rounds kept in the max filter
+    MIN_RTT_WINDOW = 10.0         # seconds kept in the min-RTT filter
+    MIN_CWND_SEGMENTS = 4
+
+    def __init__(self, conn) -> None:
+        super().__init__(conn)
+        self.mode = "startup"
+        self.btl_bw = 0.0         # bytes/second, windowed max
+        self._bw_samples: list[float] = []
+        self._rtt_samples: list = []  # (time, rtt) windowed min filter
+        self._round_end = 0       # snd_nxt at round start
+        self._round_start_t = -1.0  # <0: first round only initializes
+        self._round_start_delivered = 0
+        self._full_bw = 0.0       # plateau detector
+        self._full_bw_rounds = 0
+        self._cycle_idx = 0
+        self._rounds = 0
+
+    # -- filters --------------------------------------------------------
+    def _min_rtt(self) -> Optional[float]:
+        """Windowed min-RTT (the last MIN_RTT_WINDOW seconds), as real
+        BBR keeps: with a standing queue the path's base RTT is never
+        re-observed, and a *lifetime* min would hand early flows a
+        permanently smaller BDP than late arrivals (whose floor already
+        includes the queue) — the first-mover starvation the fairness
+        scenarios would otherwise show. The window lets every flow's
+        estimate converge to the same ambient floor. (Real BBR also
+        drains into PROBE_RTT to re-measure; this model does not.)"""
+        if self._rtt_samples:
+            return min(rtt for _t, rtt in self._rtt_samples)
+        return self.conn._min_rtt
+
+    def _bdp_bytes(self) -> float:
+        rtt = self._min_rtt() or self.conn.srtt
+        if rtt is None or self.btl_bw <= 0.0:
+            return INITIAL_CWND_SEGMENTS * self.mss
+        return self.btl_bw * rtt
+
+    def _end_round(self, now: float) -> None:
+        conn = self.conn
+        rtt = conn._last_rtt_sample
+        if rtt is not None:
+            self._rtt_samples.append((now, rtt))
+            cutoff = now - self.MIN_RTT_WINDOW
+            while self._rtt_samples and self._rtt_samples[0][0] < cutoff:
+                self._rtt_samples.pop(0)
+        elapsed = now - self._round_start_t if self._round_start_t >= 0.0 else 0.0
+        if elapsed > 0.0:
+            sample = (conn.bytes_acked_total - self._round_start_delivered) / elapsed
+            self._bw_samples.append(sample)
+            if len(self._bw_samples) > self.BW_WINDOW:
+                self._bw_samples.pop(0)
+            self.btl_bw = max(self._bw_samples)
+        self._round_start_t = now
+        self._round_start_delivered = conn.bytes_acked_total
+        self._round_end = conn.snd_nxt
+        self._rounds += 1
+        if self.mode == "startup":
+            # Plateau: <25% growth for 3 consecutive rounds ends STARTUP.
+            if self.btl_bw > self._full_bw * 1.25:
+                self._full_bw = self.btl_bw
+                self._full_bw_rounds = 0
+            else:
+                self._full_bw_rounds += 1
+                if self._full_bw_rounds >= 3:
+                    self.mode = "probe_bw"
+                    self._cycle_idx = 0
+        else:
+            self._cycle_idx = (self._cycle_idx + 1) % len(self.CYCLE)
+
+    def on_ack(self, acked: int, flight_before: int) -> None:
+        conn = self.conn
+        now = conn.sim.now
+        if conn.snd_una >= self._round_end:
+            self._end_round(now)
+        if self.mode == "startup":
+            # Exponential ramp via the ACK clock, as in slow start.
+            if flight_before >= self.cwnd - self.mss:
+                self.cwnd += min(acked, self.mss)
+        else:
+            target = max(self.CWND_GAIN * self._bdp_bytes(),
+                         self.MIN_CWND_SEGMENTS * self.mss)
+            self.cwnd = int(target)
+
+    def on_dup_ack(self, flight: int) -> None:
+        # Loss is retransmitted but not interpreted as congestion: hold
+        # the model-based window. ssthresh mirrors cwnd so the
+        # transport's recovery exit (cwnd = ssthresh) is a no-op.
+        self.ssthresh = self.cwnd
+
+    def on_rto(self, flight: int) -> None:
+        # A full timeout means the pipe estimate is stale; restart from
+        # a conservative window but keep the bandwidth filter.
+        self.ssthresh = self.cwnd
+        self.cwnd = self.MIN_CWND_SEGMENTS * self.mss
+
+    def on_loss_exit(self) -> None:
+        if self.mode != "startup":
+            self.cwnd = int(max(self.CWND_GAIN * self._bdp_bytes(),
+                                self.MIN_CWND_SEGMENTS * self.mss))
+        # startup: keep the ramped cwnd (ssthresh mirrored it on entry).
+
+    def pacing_rate(self) -> Optional[float]:
+        if self.btl_bw <= 0.0:
+            return None  # no estimate yet: default heuristic
+        gain = (self.STARTUP_GAIN if self.mode == "startup"
+                else self.CYCLE[self._cycle_idx])
+        return gain * self.btl_bw
+
+    @staticmethod
+    def rate_cap(mss: int, rtt: float, loss: float) -> float:
+        # Rate is bandwidth-probed, not loss-derived: random loss does
+        # not cap a BBR flow (until loss is so heavy retransmissions
+        # dominate — beyond this model's regime). The fluid solver's
+        # fair-share and window caps still apply.
+        return math.inf

@@ -32,7 +32,10 @@ Model elements
   ``wire_bytes_per_mss / mss`` (header + encapsulation overhead), CPU
   links use ``cpu_seconds_per_mss / (mss * 8)``.
 * :class:`FluidFlow` — one bulk transfer. Its instantaneous cap is
-  ``min(window/RTT, Mathis(loss), ramp)``; the ramp models TCP slow
+  ``min(window/RTT, cc.rate_cap(loss), ramp)`` where the loss response
+  comes from the congestion-control plane (:mod:`repro.net.cc`;
+  ``cc=None`` keeps the historical Reno/Mathis curve); the ramp models
+  TCP slow
   start (initial window delivered at once, then the rate cap doubles
   each RTT until it clears the window cap), which is what makes short
   and mid-size transfers agree with the packet plane, not just t→∞.
@@ -54,8 +57,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.net.tcp import (INITIAL_CWND_SEGMENTS, mathis_rate_bps,
-                           window_rate_bps)
+from repro.net.cc import (INITIAL_CWND_SEGMENTS, cc_class, mathis_rate_bps,
+                          window_rate_bps)
 from repro.sim.engine import Event, Simulator
 
 __all__ = ["FluidAborted", "FluidFlow", "FluidLink", "FluidNetwork",
@@ -175,12 +178,14 @@ class FluidFlow:
 
     __slots__ = ("net", "name", "path", "size_bytes", "delivered", "rate",
                  "window_bps", "mss", "state", "done", "opened_at",
-                 "deliver_offset", "_last_t", "_cap_ramp", "_ramp_timer",
-                 "_done_timer", "_done_eta", "_stall_timer", "_new_rate")
+                 "deliver_offset", "cc", "_rate_cap", "_last_t", "_cap_ramp",
+                 "_ramp_timer", "_done_timer", "_done_eta", "_stall_timer",
+                 "_new_rate")
 
     def __init__(self, net: "FluidNetwork", name: str, path: FluidPath,
                  size_bytes: Optional[int], window_bps: float,
-                 ramp: bool, deliver_offset: float) -> None:
+                 ramp: bool, deliver_offset: float,
+                 cc: Optional[str] = None) -> None:
         sim = net.sim
         self.net = net
         self.name = name
@@ -191,6 +196,12 @@ class FluidFlow:
         self.window_bps = window_bps
         self.mss = path.mss
         self.state = "active"
+        # cc=None keeps the plane's historical Reno/Mathis loss response
+        # (the calibrated default every agreement gate was tuned on);
+        # naming an algorithm swaps in its steady-state response curve.
+        self.cc = cc
+        self._rate_cap = (mathis_rate_bps if cc is None
+                          else cc_class(cc).rate_cap)
         self.done: Event = Event(sim)
         self.opened_at = sim.now
         self.deliver_offset = deliver_offset
@@ -216,7 +227,7 @@ class FluidFlow:
         cap = min(self.window_bps, self._cap_ramp)
         loss = self.path.loss()
         if loss > 0.0:
-            cap = min(cap, mathis_rate_bps(self.mss, self.path.rtt, loss))
+            cap = min(cap, self._rate_cap(self.mss, self.path.rtt, loss))
         return cap
 
     def _ramp_step(self) -> None:
@@ -379,7 +390,8 @@ class FluidNetwork:
              size_bytes: Optional[int] = None,
              send_buf: int = 262144, recv_buf: int = 262144,
              ramp: bool = True, name: Optional[str] = None,
-             deliver_offset: Optional[float] = None) -> FluidFlow:
+             deliver_offset: Optional[float] = None,
+             cc: Optional[str] = None) -> FluidFlow:
         """Open a fluid bulk transfer and (re)solve the share allocation.
 
         Returns the :class:`FluidFlow`; wait on ``flow.done`` for
@@ -405,7 +417,8 @@ class FluidNetwork:
         self._flow_seq += 1
         window = window_rate_bps(send_buf, recv_buf, path.rtt)
         offset = path.rtt / 2.0 if deliver_offset is None else deliver_offset
-        flow = FluidFlow(self, name, path, size_bytes, window, ramp, offset)
+        flow = FluidFlow(self, name, path, size_bytes, window, ramp, offset,
+                         cc=cc)
         self._m_opened.add()
         self.sim.trace.event("fluid.open", flow=name,
                              size=size_bytes if size_bytes is not None else -1)

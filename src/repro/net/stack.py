@@ -101,7 +101,7 @@ class NetworkStack:
 
     def __init__(self, sim: Simulator, name: str, forwarding: bool = False,
                  tcp_mss: int = 1460, tcp_send_buf: int = 262144,
-                 tcp_recv_buf: int = 262144) -> None:
+                 tcp_recv_buf: int = 262144, tcp_cc: str = "cubic") -> None:
         self.sim = sim
         self.name = name
         self.forwarding = forwarding
@@ -110,7 +110,8 @@ class NetworkStack:
         self.arp_cache: dict[IPv4Address, tuple[MacAddress, float]] = {}
         self._arp_pending: dict[IPv4Address, list[tuple[Interface, IPv4Packet]]] = {}
         self.udp = UdpLayer(self)
-        self.tcp = TcpLayer(self, mss=tcp_mss, send_buf=tcp_send_buf, recv_buf=tcp_recv_buf)
+        self.tcp = TcpLayer(self, mss=tcp_mss, send_buf=tcp_send_buf,
+                            recv_buf=tcp_recv_buf, cc=tcp_cc)
         self.icmp = IcmpLayer(self)
         # Hook points used by NAT boxes and the WAVNet driver.
         self.pre_routing: Optional[Callable[[IPv4Packet, Interface], Optional[IPv4Packet]]] = None

@@ -1,10 +1,12 @@
-"""TCP with Reno congestion control.
+"""TCP with pluggable congestion control (see :mod:`repro.net.cc`).
 
 Every throughput experiment in the paper (ttcp Fig 6, netperf Figs 7-9,
 ApacheBench Tables III-IV, migration traffic Table V) is TCP-shaped, so
 the transport has to reproduce real TCP dynamics:
 
-* slow start / congestion avoidance with ``ssthresh``;
+* slow start / congestion avoidance with ``ssthresh`` — delegated to a
+  per-connection :class:`~repro.net.cc.CongestionControl` strategy
+  (``cc="reno" | "cubic" | "bbr"``, cubic by default);
 * fast retransmit + fast recovery on 3 duplicate ACKs;
 * retransmission timeout with Jacobson/Karn RTT estimation and
   exponential backoff;
@@ -26,6 +28,10 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.net.addresses import IPv4Address
+# Re-exported for back-compat: these historically lived here, and the
+# fluid plane / apps import them from this module.
+from repro.net.cc import (INITIAL_CWND_SEGMENTS, cc_algorithm,  # noqa: F401
+                          mathis_rate_bps, window_rate_bps)
 from repro.net.packet import ACK, FIN, RST, SYN, TcpSegment, ipv4
 from repro.sim.engine import Event, Simulator, Timer
 from repro.sim.queues import Store
@@ -43,22 +49,6 @@ INITIAL_RTO = 1.0
 # Wire bytes added per MSS of goodput on a native path: TCP header (20)
 # + IPv4 header (20) + Ethernet header (14) + FCS (4).
 WIRE_OVERHEAD_TCP = 58
-# Initial congestion window, in segments (matches TcpConnection below).
-INITIAL_CWND_SEGMENTS = 3
-
-
-def window_rate_bps(send_buf: int, recv_buf: int, rtt: float) -> float:
-    """Steady-state throughput ceiling from socket buffers: one window
-    per round trip, bounded by the smaller of the two buffers."""
-    return min(send_buf, recv_buf) * 8.0 / rtt
-
-
-def mathis_rate_bps(mss: int, rtt: float, loss: float) -> float:
-    """Mathis et al. steady-state TCP throughput under i.i.d. loss
-    ``p``: rate = (MSS/RTT) * C/sqrt(p), C ≈ 1.22."""
-    if loss <= 0.0:
-        return float("inf")
-    return mss * 8.0 * 1.22 / (rtt * (loss ** 0.5))
 
 
 class ConnectionReset(Exception):
@@ -121,21 +111,15 @@ class TcpConnection:
         self.fin_sent = False
         self.fin_seq: Optional[int] = None
 
-        # --- congestion control ---
-        if cc not in ("reno", "cubic"):
-            raise ValueError(f"unknown congestion control {cc!r}")
-        self.cc = cc
-        self.cwnd = INITIAL_CWND_SEGMENTS * mss
-        # Initial ssthresh is effectively unbounded (as in Linux): slow
-        # start runs until the first loss or the receiver window binds.
-        self.ssthresh = 1 << 30
-        # CUBIC state (RFC 8312): w_max in segments, epoch start time.
-        self._cubic_wmax = 0.0
-        self._cubic_epoch: Optional[float] = None
-        # HyStart (delay-increase slow-start exit, Linux default): track
-        # the path's minimum RTT and the freshest sample.
+        # --- congestion control (strategy plane, repro.net.cc) ---
+        # Path RTT tracking shared by the strategies (HyStart's
+        # delay-increase exit, BBR's BDP): the path minimum and the
+        # freshest sample.
         self._min_rtt: Optional[float] = None
         self._last_rtt_sample: Optional[float] = None
+        self.cc = cc
+        self.cc_algo = cc_algorithm(cc, self)
+        self._cc_series: Optional[tuple] = None
         self.dupacks = 0
         self.in_fast_recovery = False
         self.recover = 0
@@ -190,6 +174,35 @@ class TcpConnection:
     @property
     def key(self) -> tuple[int, IPv4Address, int]:
         return (self.local_port, self.remote_ip, self.remote_port)
+
+    # Window state is owned by the strategy; delegate so every existing
+    # reader (apps, tests, benchmarks) keeps working unchanged.
+    @property
+    def cwnd(self) -> int:
+        return self.cc_algo.cwnd
+
+    @cwnd.setter
+    def cwnd(self, value: int) -> None:
+        self.cc_algo.cwnd = value
+
+    @property
+    def ssthresh(self) -> int:
+        return self.cc_algo.ssthresh
+
+    @ssthresh.setter
+    def ssthresh(self, value: int) -> None:
+        self.cc_algo.ssthresh = value
+
+    def enable_cc_trace(self, label: Optional[str] = None) -> None:
+        """Record per-flow cwnd/ssthresh/srtt time series into the
+        simulator's metrics registry (``repro.obs``) on every cumulative
+        ACK, under ``<stack>.tcp.<label>.{cwnd,ssthresh,srtt_ms}``
+        (label defaults to the local port)."""
+        m = self.sim.metrics
+        base = f"{self.layer.stack.name}.tcp.{label or self.local_port}"
+        self._cc_series = (m.series(f"{base}.cwnd"),
+                           m.series(f"{base}.ssthresh"),
+                           m.series(f"{base}.srtt_ms"))
 
     def wait_established(self) -> Event:
         return self.established_event
@@ -274,7 +287,11 @@ class TcpConnection:
                     # Micro-burst pacing: spread window-sized sends over
                     # a fraction of the RTT instead of blasting them
                     # back-to-back into a short bottleneck queue.
-                    rate = 2.0 * max(self._effective_window(), self.mss) / self.srtt
+                    # Rate-based strategies (BBR) supply the rate; the
+                    # default is two windows per RTT.
+                    rate = self.cc_algo.pacing_rate()
+                    if rate is None:
+                        rate = 2.0 * max(self._effective_window(), self.mss) / self.srtt
                     yield sim.timeout(burst * self.mss / rate)
                     burst = 0
                 continue
@@ -397,15 +414,7 @@ class TcpConnection:
             self._send_syn()
         else:
             flight = self.snd_nxt - self.snd_una
-            self._note_loss_window(max(flight, self.cwnd if flight <= 4 * self.mss else 0))
-            if flight <= 4 * self.mss:
-                # Tail loss: keep half the window (TLP-style) instead of
-                # collapsing ssthresh to the tiny residual flight.
-                self.ssthresh = max(self.cwnd // 2, 2 * self.mss)
-            else:
-                factor = 0.7 if self.cc == "cubic" else 0.5
-                self.ssthresh = max(int(flight * factor), 2 * self.mss)
-            self.cwnd = self.mss
+            self.cc_algo.on_rto(flight)
             self.dupacks = 0
             self.in_fast_recovery = False
             self._rewind_to_una()
@@ -428,45 +437,6 @@ class TcpConnection:
             self.fin_seq = None
         self.snd_nxt = self.snd_una
         self.snd_buffered = self._app_write_total - self.snd_nxt
-
-    def _hystart_exit(self) -> bool:
-        """HyStart delay-increase heuristic: once queueing pushes the RTT
-        an eighth (>= 4 ms) above the path minimum, slow start has found
-        the pipe — exit before overflowing the bottleneck queue."""
-        if self.cc != "cubic" or self._min_rtt is None or self._last_rtt_sample is None:
-            return False
-        if self.cwnd < 16 * self.mss:
-            return False  # let tiny flows ramp unhindered
-        threshold = self._min_rtt + max(self._min_rtt / 8, 0.004)
-        return self._last_rtt_sample > threshold
-
-    # -- CUBIC (RFC 8312) -------------------------------------------------
-    _CUBIC_C = 0.4
-    _CUBIC_BETA = 0.7
-
-    def _note_loss_window(self, flight: int) -> None:
-        """Record w_max and restart the cubic epoch at a loss event."""
-        if flight > 0:
-            self._cubic_wmax = flight / self.mss
-        self._cubic_epoch = self.sim.now
-
-    def _cubic_grow(self) -> None:
-        """Per-ACK congestion-avoidance growth toward the cubic curve."""
-        now = self.sim.now
-        if self._cubic_epoch is None:
-            self._cubic_epoch = now
-            self._cubic_wmax = max(self._cubic_wmax, self.cwnd / self.mss)
-        t = now - self._cubic_epoch
-        k = (self._cubic_wmax * (1.0 - self._CUBIC_BETA) / self._CUBIC_C) ** (1.0 / 3.0)
-        target = self._CUBIC_C * (t - k) ** 3 + self._cubic_wmax
-        cur = self.cwnd / self.mss
-        if target > cur:
-            # Close the gap within ~one RTT's worth of ACKs, at most one
-            # segment per ACK (standard cubic pacing).
-            self.cwnd += max(min(int(self.mss * (target - cur) / cur), self.mss), 1)
-        else:
-            # TCP-friendliness floor: Reno-rate growth.
-            self.cwnd += max(self.mss * self.mss // self.cwnd, 1)
 
     # -- SACK machinery -------------------------------------------------
     def _merge_sack(self, blocks: tuple) -> None:
@@ -702,7 +672,7 @@ class TcpConnection:
                     self._rtt_probe = None
             if self.in_fast_recovery:
                 if ack >= self.recover:
-                    self.cwnd = self.ssthresh
+                    self.cc_algo.on_loss_exit()
                     self.in_fast_recovery = False
                     self._rtx_next = 0
                 else:
@@ -711,18 +681,11 @@ class TcpConnection:
                     self._rtx_next = max(self._rtx_next, self.snd_una)
                     self._sack_retransmit()
                     self._fr_credit = min(self._fr_credit + 1, 3)
-            elif flight_before >= self.cwnd - self.mss:
-                # Congestion window validation (RFC 2861): only grow when
-                # the window was actually the binding constraint.
-                if self.cwnd < self.ssthresh:
-                    if self._hystart_exit():
-                        self.ssthresh = self.cwnd  # leave slow start early
-                    else:
-                        self.cwnd += min(acked, self.mss)  # slow start
-                elif self.cc == "cubic":
-                    self._cubic_grow()
-                else:
-                    self.cwnd += max(self.mss * self.mss // self.cwnd, 1)
+            else:
+                # Window growth is the strategy's call; congestion-window
+                # validation (RFC 2861) happens inside on_ack using the
+                # pre-ACK flight.
+                self.cc_algo.on_ack(acked, flight_before)
             # Release send-buffer waiters now that bytes left the buffer.
             self._admit_waiters()
             # Restart RTO for remaining flight (backoff cleared by new
@@ -732,6 +695,11 @@ class TcpConnection:
             self.rto = self._computed_rto()
             self._rto_deadline = (self.sim.now + self.rto) if self.snd_una < self.snd_nxt else None
             self._trim_markers()
+            if self._cc_series is not None:
+                cwnd_s, ssthresh_s, srtt_s = self._cc_series
+                cwnd_s.record(float(self.cwnd))
+                ssthresh_s.record(float(self.ssthresh))
+                srtt_s.record((self.srtt or 0.0) * 1000.0)
             if self.fin_sent and self.snd_una > self.fin_seq:
                 self._maybe_finish()
             self._kick_send()
@@ -758,12 +726,7 @@ class TcpConnection:
                 self._kick_send()
             elif self.dupacks == 3:
                 flight = self.snd_nxt - self.snd_una
-                self._note_loss_window(flight)
-                if self.cc == "cubic":
-                    self.ssthresh = max(int(flight * 0.7), 2 * self.mss)
-                else:
-                    self.ssthresh = max(flight // 2, 2 * self.mss)
-                self.cwnd = self.ssthresh + 3 * self.mss
+                self.cc_algo.on_dup_ack(flight)
                 self.in_fast_recovery = True
                 self.recover = self.snd_nxt
                 self._rtx_next = self.snd_una
@@ -957,11 +920,13 @@ class _RxChunk(tuple):
 class TcpLayer:
     """Per-stack TCP demultiplexer and connection factory."""
 
-    def __init__(self, stack, mss: int = 1460, send_buf: int = 262144, recv_buf: int = 262144) -> None:
+    def __init__(self, stack, mss: int = 1460, send_buf: int = 262144,
+                 recv_buf: int = 262144, cc: str = "cubic") -> None:
         self.stack = stack
         self.mss = mss
         self.send_buf = send_buf
         self.recv_buf = recv_buf
+        self.cc = cc
         self.listeners: dict[int, TcpListener] = {}
         self.connections: dict[tuple[int, IPv4Address, int], TcpConnection] = {}
         self._next_ephemeral = EPHEMERAL_BASE
@@ -983,12 +948,16 @@ class TcpLayer:
         mss: Optional[int] = None,
         send_buf: Optional[int] = None,
         recv_buf: Optional[int] = None,
+        cc: Optional[str] = None,
     ) -> TcpConnection:
-        """Start an active open; wait on ``conn.wait_established()``."""
+        """Start an active open; wait on ``conn.wait_established()``.
+        ``cc`` picks the congestion-control algorithm for this
+        connection (default: the layer's, normally "cubic")."""
         local_port = self._alloc_ephemeral(dst_ip, dst_port)
         conn = TcpConnection(
             self, local_port, dst_ip, dst_port,
             mss or self.mss, send_buf or self.send_buf, recv_buf or self.recv_buf,
+            cc=cc or self.cc,
         )
         self.connections[conn.key] = conn
         conn._start_active_open()
@@ -1026,7 +995,8 @@ class TcpLayer:
         listener = self.listeners.get(seg.dst_port)
         if listener is not None and seg.syn and not seg.ack_flag and not listener.closed:
             conn = TcpConnection(self, seg.dst_port, packet.src, seg.src_port,
-                                 self.mss, self.send_buf, self.recv_buf)
+                                 self.mss, self.send_buf, self.recv_buf,
+                                 cc=self.cc)
             self.connections[key] = conn
             conn._start_passive_open(seg)
             if not listener.accept_queue.try_put(conn):
