@@ -49,6 +49,7 @@ from repro.apps.ab import ApacheBench  # noqa: E402
 from repro.apps.httpd import HttpServer  # noqa: E402
 from repro.apps.netperf import netperf_stream, netserver  # noqa: E402
 from repro.apps.ttcp import ttcp_receiver, ttcp_transfer  # noqa: E402
+from repro.core.options import TransferOptions  # noqa: E402
 from repro.scenarios.fluid import fluidify  # noqa: E402
 from repro.scenarios.stacks import (ipop_pair, physical_pair,  # noqa: E402
                                     wavnet_pair)
@@ -95,7 +96,8 @@ def _ttcp_elapsed(stack: str, nbytes: int, fidelity: str):
     else:
         pair.sim.process(ttcp_receiver(pair.host_b))
     proc = pair.sim.process(
-        ttcp_transfer(pair.host_a, pair.ip_b, nbytes, fidelity=fidelity))
+        ttcp_transfer(pair.host_a, pair.ip_b, nbytes,
+                      options=TransferOptions(fidelity=fidelity)))
     pair.sim.run(until=proc)
     return proc.value.elapsed, pair.sim.events_dispatched
 
@@ -126,7 +128,8 @@ def fig07_cell(stack: str, rate_mbps: float, duration: float = 12.0):
         else:
             pair.sim.process(netserver(pair.host_b))
         proc = pair.sim.process(netperf_stream(
-            pair.host_a, pair.ip_b, duration=duration, fidelity=fidelity))
+            pair.host_a, pair.ip_b, duration=duration,
+            options=TransferOptions(fidelity=fidelity)))
         pair.sim.run(until=proc)
         rates = proc.value.rates_mbps
         out[fidelity] = sum(rates[len(rates) // 2:]) / (len(rates) -
@@ -146,7 +149,8 @@ def table4_cell(stack: str, path: str, concurrency: int, n_requests: int):
         else:
             HttpServer(pair.host_b)
         ab = ApacheBench(pair.host_a, pair.ip_b, path=path,
-                         concurrency=concurrency, fidelity=fidelity)
+                         concurrency=concurrency,
+                         options=TransferOptions(fidelity=fidelity))
         proc = pair.sim.process(ab.run_requests(n_requests))
         pair.sim.run(until=proc)
         assert proc.value.requests_failed == 0

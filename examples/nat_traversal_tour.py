@@ -4,15 +4,19 @@
 Walks through the connection-layer machinery of §II.B: for every pair
 of NAT behaviours, a fresh two-site WAN is built, both drivers classify
 their NATs via STUN, and a punch is attempted — printing which
-combinations succeed (cone types) and which cannot (symmetric pairs),
-plus what the 2-byte CONNECT_PULSE keepalive costs an idle tunnel.
+combinations punch classically (cone types), which need the predicted-
+port fan (sequential-allocating symmetric NATs, whose stride the STUN
+probe infers), and which fall back to relay (random-allocating
+symmetric against a port-restricted filter) — plus what the 2-byte
+CONNECT_PULSE keepalive costs an idle tunnel.
 
 Run:  python examples/nat_traversal_tour.py
 """
 
 from repro import Simulator, WavnetEnvironment
 
-NAT_TYPES = ["full-cone", "restricted-cone", "port-restricted", "symmetric"]
+NAT_TYPES = ["full-cone", "restricted-cone", "port-restricted",
+             "symmetric-sequential", "symmetric-random"]
 
 
 def try_pair(nat_a: str, nat_b: str):
@@ -31,7 +35,7 @@ def try_pair(nat_a: str, nat_b: str):
 def main() -> None:
     print("== hole punching matrix (rows: A's NAT, cols: B's NAT)")
     header = "".join(f"{n[:9]:>11}" for n in NAT_TYPES)
-    print(f"{'':>16}{header}")
+    print(f"{'':>20}{header}")
     for nat_a in NAT_TYPES:
         cells = []
         for nat_b in NAT_TYPES:
@@ -42,9 +46,10 @@ def main() -> None:
                 cells.append("relay")
             else:
                 cells.append("punched")
-        print(f"{nat_a:>16}" + "".join(f"{c:>11}" for c in cells))
-    print("   (symmetric<->symmetric cannot punch — the paper's supported-NAT"
-          " boundary; this reproduction adds a rendezvous-relay fallback)")
+        print(f"{nat_a:>20}" + "".join(f"{c:>11}" for c in cells))
+    print("   (the paper relays every symmetric cell; port prediction"
+          " punches the sequential-allocation ones direct, and the"
+          " rendezvous-relay fallback covers the rest)")
 
     print("== keepalive cost on an idle port-restricted tunnel")
     sim, env, conn = try_pair("port-restricted", "port-restricted")

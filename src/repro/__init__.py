@@ -14,11 +14,21 @@ Quickstart::
     sim.run(until=sim.process(env.connect_pair("alice", "bob")))
     # alice and bob now share a layer-2 virtual LAN across their NATs.
 
+The names exported here are the supported surface for building and
+running experiments: deployment assembly (:class:`WavnetEnvironment`,
+:class:`WavnetDriver`, :class:`NatType`), per-call behaviour bundles
+(:class:`ConnectOptions`, :class:`TransferOptions`), the experiment
+plane (:class:`ExperimentSpec`, :class:`Sweep`, :class:`SweepRunner`,
+:func:`run_sweep`, :func:`run_partitioned`), fault injection
+(:class:`FaultPlan`, :class:`FaultInjector`), and VM migration
+(:class:`Hypervisor`, :class:`VirtualMachine`).
+
 Package map: :mod:`repro.sim` (event kernel), :mod:`repro.net` (network
 substrate), :mod:`repro.nat` / :mod:`repro.stun` (NAT traversal),
 :mod:`repro.overlay` (CAN rendezvous layer), :mod:`repro.core` (WAVNet
 itself), :mod:`repro.vm` (live migration), :mod:`repro.baselines`
-(IPOP comparator), :mod:`repro.apps` (workloads), and
+(IPOP comparator), :mod:`repro.apps` (workloads), :mod:`repro.exp`
+(experiment plane), :mod:`repro.faults` (failure injection), and
 :mod:`repro.scenarios` (the paper's testbeds).
 """
 
@@ -30,19 +40,30 @@ from repro.core.grouping import (
     random_group,
 )
 from repro.core.latency import LatencyMatrix
+from repro.core.options import ConnectOptions, TransferOptions
+from repro.exp import ExperimentSpec, Sweep, SweepRunner, run_sweep
+from repro.faults import FaultInjector, FaultPlan
 from repro.nat.types import NatType
 from repro.scenarios.wavnet_env import WavnetEnvironment
 from repro.sim.engine import Simulator
+from repro.sim.pdes import run_partitioned
 from repro.vm.hypervisor import Hypervisor
 from repro.vm.machine import VirtualMachine
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ConnectOptions",
+    "ExperimentSpec",
+    "FaultInjector",
+    "FaultPlan",
     "Hypervisor",
     "LatencyMatrix",
     "NatType",
     "Simulator",
+    "Sweep",
+    "SweepRunner",
+    "TransferOptions",
     "VirtualMachine",
     "WavnetDriver",
     "WavnetEnvironment",
@@ -50,5 +71,7 @@ __all__ = [
     "greedy_group",
     "locality_sensitive_group",
     "random_group",
+    "run_partitioned",
+    "run_sweep",
     "__version__",
 ]

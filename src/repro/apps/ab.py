@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.apps.httpd import (HTTP_PORT, HttpRequest, HttpResponse,
                               response_size_for)
+from repro.core.options import UNSET, TransferOptions
 from repro.net.addresses import IPv4Address
 from repro.net.stack import Host
 from repro.net.tcp import ConnectionReset
@@ -69,9 +70,13 @@ class ApacheBench:
 
     def __init__(self, host: Host, server_ip: IPv4Address, path: str = "/file1k",
                  concurrency: int = 1, port: int = HTTP_PORT,
-                 connect_timeout: float = 10.0, fidelity: str = "packet",
-                 service_time: float = 50e-6, response_path=None,
-                 cc: Optional[str] = None) -> None:
+                 connect_timeout: float = 10.0,
+                 options: Optional[TransferOptions] = None,
+                 fidelity=UNSET, service_time: float = 50e-6,
+                 response_path=None, cc=UNSET) -> None:
+        opts = TransferOptions.coerce(options, "ApacheBench",
+                                      fidelity=fidelity, cc=cc)
+        fidelity, cc = opts.fidelity, opts.cc
         if fidelity not in ("packet", "fluid"):
             raise ValueError(f"unknown fidelity {fidelity!r}")
         self.host = host

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.options import UNSET, TransferOptions
 from repro.net.addresses import IPv4Address
 from repro.net.stack import Host
 from repro.net.tcp import ConnectionReset
@@ -51,20 +52,28 @@ def netserver(host: Host, port: int = NETPERF_PORT):
 def netperf_stream(host: Host, dst_ip: IPv4Address,
                    duration: float = 10.0, interval: float = 0.5,
                    chunk: int = 65536, port: int = NETPERF_PORT,
-                   fidelity: str = "packet", cc: str | None = None,
-                   cc_trace: str | None = None):
+                   options: "TransferOptions | None" = None,
+                   fidelity=UNSET, cc=UNSET, cc_trace=UNSET):
     """Process: TCP_STREAM from ``host`` to a :func:`netserver` at
     ``dst_ip`` for ``duration`` seconds; returns NetperfResult.
 
-    ``fidelity="fluid"`` runs the stream as one duration-mode fluid flow
-    (no netserver needed); interim rates come from the solver's
-    allocation and land in the same ``<host>.netperf.rate_mbps``
-    series.
+    Transfer behaviour comes from a :class:`TransferOptions` bundle
+    (``fidelity=`` / ``cc=`` / ``cc_trace=`` keywords are deprecated
+    aliases).
 
-    ``cc`` picks the congestion-control algorithm (``None`` = stack
-    default / historical fluid Mathis cap). ``cc_trace`` enables the
-    per-flow ``<stack>.tcp.<label>.{cwnd,ssthresh,srtt_ms}`` time
-    series under that label (packet fidelity only)."""
+    ``TransferOptions.fidelity="fluid"`` runs the stream as one
+    duration-mode fluid flow (no netserver needed); interim rates come
+    from the solver's allocation and land in the same
+    ``<host>.netperf.rate_mbps`` series.
+
+    ``TransferOptions.cc`` picks the congestion-control algorithm
+    (``None`` = stack default / historical fluid Mathis cap).
+    ``TransferOptions.cc_trace`` enables the per-flow
+    ``<stack>.tcp.<label>.{cwnd,ssthresh,srtt_ms}`` time series under
+    that label (packet fidelity only)."""
+    opts = TransferOptions.coerce(options, "netperf_stream",
+                                  fidelity=fidelity, cc=cc, cc_trace=cc_trace)
+    fidelity, cc, cc_trace = opts.fidelity, opts.cc, opts.cc_trace
     sim = host.sim
     if fidelity == "fluid":
         fluid = getattr(sim, "fluid", None)

@@ -9,7 +9,9 @@ writes, report ``KB/s`` over the data phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.core.options import UNSET, TransferOptions
 from repro.net.addresses import IPv4Address
 from repro.net.stack import Host
 from repro.net.tcp import drain_bytes, stream_bytes
@@ -45,20 +47,27 @@ def ttcp_receiver(host: Host, port: int = TTCP_PORT):
 
 def ttcp_transfer(host: Host, dst_ip: IPv4Address, total_bytes: int,
                   buf_size: int = 16384, port: int = TTCP_PORT,
-                  fidelity: str = "packet", cc: str | None = None):
+                  options: Optional[TransferOptions] = None,
+                  fidelity=UNSET, cc=UNSET):
     """Process: transmit ``total_bytes``; returns TtcpResult (sender side,
     timed from first write to last byte acknowledged — what ttcp -t reports).
 
-    ``fidelity="fluid"`` runs the same transfer on the flow-level plane
-    (requires a :class:`~repro.net.fluid.FluidNetwork` with a route for
-    ``(host.name, dst_ip)``): no receiver process is needed, and the
-    result carries the solver's completion time instead of per-frame
-    dynamics.
+    Transfer behaviour comes from a :class:`TransferOptions` bundle
+    (``fidelity=`` / ``cc=`` keywords are deprecated aliases).
 
-    ``cc`` names a registered congestion-control algorithm
-    (:func:`repro.net.cc.cc_names`); ``None`` keeps the host stack's
-    default at packet fidelity and the plane's historical Mathis loss
-    response at fluid fidelity."""
+    ``TransferOptions.fidelity="fluid"`` runs the same transfer on the
+    flow-level plane (requires a :class:`~repro.net.fluid.FluidNetwork`
+    with a route for ``(host.name, dst_ip)``): no receiver process is
+    needed, and the result carries the solver's completion time instead
+    of per-frame dynamics.
+
+    ``TransferOptions.cc`` names a registered congestion-control
+    algorithm (:func:`repro.net.cc.cc_names`); ``None`` keeps the host
+    stack's default at packet fidelity and the plane's historical Mathis
+    loss response at fluid fidelity."""
+    opts = TransferOptions.coerce(options, "ttcp_transfer",
+                                  fidelity=fidelity, cc=cc)
+    fidelity, cc = opts.fidelity, opts.cc
     sim = host.sim
     if fidelity == "fluid":
         fluid = getattr(sim, "fluid", None)

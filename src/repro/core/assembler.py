@@ -26,6 +26,8 @@ __all__ = [
     "PULSE_SIZE",
     "PacketAssembler",
     "WavData",
+    "WavPathChallenge",
+    "WavPathResponse",
     "WavPulse",
     "WavPunch",
     "WavPunchAck",
@@ -35,6 +37,7 @@ __all__ = [
 DATA_HEADER = 4
 PULSE_SIZE = 2
 PUNCH_SIZE = 20
+PATH_FRAME_SIZE = 24
 
 
 @dataclass(frozen=True)
@@ -77,6 +80,42 @@ class WavPunchAck:
     @property
     def size(self) -> int:
         return PUNCH_SIZE
+
+
+@dataclass(frozen=True)
+class WavPathChallenge:
+    """QUIC-style PATH_CHALLENGE: migrate an established connection to a
+    new path without re-punching.
+
+    ``cid`` is the stable connection ID (survives address changes);
+    ``token`` must be echoed by the peer; ``new_ip``/``new_port`` is the
+    sender's freshly discovered public endpoint, which the peer should
+    adopt as the connection's remote address once the token validates.
+    """
+
+    sender: str
+    cid: int
+    token: int
+    new_ip: object  # IPv4Address
+    new_port: int
+
+    @property
+    def size(self) -> int:
+        return PATH_FRAME_SIZE
+
+
+@dataclass(frozen=True)
+class WavPathResponse:
+    """PATH_RESPONSE: echoes the challenge token, proving the new path
+    carries traffic in both directions."""
+
+    sender: str
+    cid: int
+    token: int
+
+    @property
+    def size(self) -> int:
+        return PATH_FRAME_SIZE
 
 
 @dataclass(frozen=True)

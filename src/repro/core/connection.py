@@ -19,15 +19,29 @@ A :class:`WavConnection` goes through::
 from __future__ import annotations
 
 import enum
+import zlib
 from typing import Optional
 
 from repro.core.assembler import WavPulse
+from repro.nat.types import NatType
 from repro.net.addresses import IPv4Address
 from repro.net.packet import Payload
 from repro.overlay.resources import ConnectionInfo
 from repro.sim.engine import Event, Interrupt, Timer
 
-__all__ = ["ConnectionState", "WavConnection"]
+__all__ = ["ConnectionState", "WavConnection", "connection_cid"]
+
+
+def connection_cid(a: str, b: str) -> int:
+    """Stable connection ID for the (a, b) tunnel.
+
+    Both ends derive the same 32-bit ID from the unordered name pair, so
+    a path-validation frame identifies its connection no matter which
+    address it arrives from — the QUIC property that makes migration
+    work after a NAT rebind.
+    """
+    lo, hi = sorted((a, b))
+    return zlib.crc32(f"{lo}|{hi}".encode()) & 0xFFFFFFFF
 
 
 class ConnectionState(enum.Enum):
@@ -48,6 +62,9 @@ class WavConnection:
         punch_interval: float = 0.2,
         punch_timeout: float = 10.0,
         liveness_factor: float = 4.0,
+        predict_ports: bool = True,
+        punch_fan: int = 8,
+        migrate: bool = False,
     ) -> None:
         self.driver = driver
         self.sim = driver.sim
@@ -57,6 +74,12 @@ class WavConnection:
         self.punch_interval = punch_interval
         self.punch_timeout = punch_timeout
         self.liveness_factor = liveness_factor
+        self.predict_ports = predict_ports
+        self.punch_fan = punch_fan
+        self.migrate_enabled = migrate
+        self.cid = connection_cid(driver.name, peer_name)
+        self.migrations = 0
+        self._path_token: Optional[int] = None
 
         self.state = ConnectionState.PUNCHING
         self.relayed = False  # rendezvous-relay fallback (symmetric NATs)
@@ -96,16 +119,56 @@ class WavConnection:
         """Endpoints worth probing, public first, private for LAN peers.
         While relayed, ``remote`` is the rendezvous endpoint — not a
         punch target — so upgrade punching probes only the peer's own
-        candidates."""
+        candidates.
+
+        Against a symmetric peer whose allocator is predictable
+        (``alloc_stride > 0``), a *predicted window* of ports is added:
+        the peer's NAT sources its k-th fresh punch allocation from
+        ``observed + (off + k) * stride``, where ``off`` counts the
+        non-predicted candidates the peer burns allocations on first.
+        Both sides use the same candidate-ordering rules, so the window
+        each aims at is exactly where the other's probes come out:
+
+        * peer symmetric, we are cone — the peer probes our public
+          endpoint first (its allocation #1), so ``off = 0`` and k=1
+          lands on it;
+        * both symmetric — advertised public endpoints are futile (those
+          mappings only admit the STUN server), so each side probes only
+          the peer's private address (allocation #1) before its window
+          (allocations #2..), giving ``off = 1`` on both sides.
+        """
         out: list[tuple[IPv4Address, int]] = []
         if self.remote is not None and not self.relayed:
             out.append(self.remote)
-        if self.peer_conn is not None:
-            pub = (self.peer_conn.public_ip, self.peer_conn.public_port)
-            priv = (self.peer_conn.private_ip, self.peer_conn.private_port)
-            for ep in (pub, priv):
+        pc = self.peer_conn
+        if pc is None:
+            return out
+        pub = (pc.public_ip, pc.public_port)
+        priv = (pc.private_ip, pc.private_port)
+        stride = pc.alloc_stride if self.predict_ports else 0
+        if pc.nat_type is NatType.SYMMETRIC and stride > 0:
+            self_sym = self.driver.nat_type is NatType.SYMMETRIC
+            if self_sym:
+                off = 1
+                order = (priv,)
+            else:
+                off = 0
+                order = (pub, priv)
+            for ep in order:
                 if ep not in out:
                     out.append(ep)
+            base = pc.observed_port or pc.public_port
+            for k in range(1, self.punch_fan + 1):
+                port = base + (off + k) * stride
+                if port > 65535:
+                    break
+                ep = (pc.public_ip, port)
+                if ep not in out:
+                    out.append(ep)
+            return out
+        for ep in (pub, priv):
+            if ep not in out:
+                out.append(ep)
         return out
 
     # -- punching ----------------------------------------------------------------
@@ -272,6 +335,12 @@ class WavConnection:
             self.state = ConnectionState.DEAD
             self.driver._connection_dead(self, reason="liveness")
             return
+        if (self.migrate_enabled and not self.relayed
+                and silent_for > self.driver.migrate_threshold * self.pulse_interval):
+            # Suspicious silence on a direct path: the NAT may have
+            # rebound under us. Validate/repair the path by migration
+            # well before the liveness deadline declares the peer dead.
+            self.driver._start_migration(self)
         self.send(self.driver.assembler.pulse())
         self._pulse_timer = self.sim.timer(self.pulse_interval, self._pulse_cb)
 

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.assembler import (PacketAssembler, WavData, WavPulse,
-                                  WavPunch, WavPunchAck, WavRelay)
+from repro.core.assembler import (PacketAssembler, WavData, WavPathChallenge,
+                                  WavPathResponse, WavPulse, WavPunch,
+                                  WavPunchAck, WavRelay)
 from repro.core.connection import ConnectionState, WavConnection
+from repro.core.options import UNSET, ConnectOptions, TransferOptions
 from repro.core.switch import WavSwitch
 from repro.core.tap import TapDevice
 from repro.nat.types import NatType
@@ -83,6 +85,11 @@ class WavnetDriver(Component):
         repair_jitter: float = 0.3,
         upgrade_interval: float = 30.0,
         retry_concurrency: Optional[int] = None,
+        predict_ports: bool = True,
+        punch_fan: int = 8,
+        migration: bool = False,
+        migrate_threshold: float = 1.5,
+        migrate_timeout: float = 2.0,
     ) -> None:
         self.host = host
         self.sim = host.sim
@@ -109,6 +116,15 @@ class WavnetDriver(Component):
         self.repair_backoff_cap = repair_backoff_cap
         self.repair_jitter = repair_jitter
         self.upgrade_interval = upgrade_interval
+        # Traversal/migration defaults (per-connect ConnectOptions override).
+        # Migration is opt-in: enabling it changes repair dynamics, and
+        # scenarios that measured the classic re-punch loop must keep
+        # measuring it unless they ask for migration.
+        self.predict_ports = predict_ports
+        self.punch_fan = punch_fan
+        self.migration = migration
+        self.migrate_threshold = migrate_threshold
+        self.migrate_timeout = migrate_timeout
         self.attrs = dict(attrs or {"cpu_ghz": 2.0, "mem_mb": 2048.0})
 
         # --- data-plane plumbing (Fig 2 / Fig 5) ---
@@ -153,6 +169,12 @@ class WavnetDriver(Component):
         self._m_rvz_failovers = m.counter("rvz.failovers")
         self._m_rvz_failover_seconds = m.histogram("rvz.failover_seconds")
         self._m_dropped_outage = m.counter("frames.dropped_outage")
+        # --- path migration observability ---
+        self._m_migrate_attempts = m.counter("migrate.attempts")
+        self._m_migrate_success = m.counter("migrate.success")
+        self._m_migrate_failed = m.counter("migrate.failed")
+        self._m_migrate_seconds = m.histogram("migrate.seconds")
+        self._m_peer_moved = m.counter("migrate.peer_moved")
 
         # --- control plane ---
         self._wav_port = wav_port
@@ -162,7 +184,13 @@ class WavnetDriver(Component):
         self.rpc.register("wav.punch", self._on_punch_notice)
         self.connections: dict[str, WavConnection] = {}
         self._by_endpoint: dict[tuple[IPv4Address, int], WavConnection] = {}
+        # Established connections by stable connection ID: path-validation
+        # frames demux here, independent of the sending address.
+        self._by_cid: dict[int, WavConnection] = {}
+        self._migrating: set[str] = set()
+        self._migrate_token = 0
         self.nat_type: Optional[NatType] = None
+        self.alloc_stride = 0  # STUN-inferred symmetric allocation stride
         self.public_endpoint: Optional[tuple[IPv4Address, int]] = None
         self.started = Event(self.sim)
         from repro.sim.queues import Store
@@ -196,6 +224,7 @@ class WavnetDriver(Component):
             self._stun_client = stun
             probe = yield from stun.classify()
             self.nat_type = probe.nat_type
+            self.alloc_stride = probe.alloc_stride
             if probe.mapped_ip is not None:
                 self.public_endpoint = probe.public_endpoint
         if self.nat_type is None:
@@ -240,6 +269,7 @@ class WavnetDriver(Component):
             private_ip=self.host.stack.ips[0],
             private_port=self.sock.port,
             nat_type=self.nat_type or NatType.OPEN,
+            alloc_stride=self.alloc_stride,
         )
 
     def _rendezvous_keepalive(self):
@@ -339,6 +369,8 @@ class WavnetDriver(Component):
         self.sock.close()
         self.connections.clear()
         self._by_endpoint.clear()
+        self._by_cid.clear()
+        self._migrating.clear()
         self.tap.up = False
 
     def _on_restore(self) -> None:
@@ -371,12 +403,19 @@ class WavnetDriver(Component):
             (query, limit), timeout=10.0)
         return [r for r in records if r.host_name != self.name]
 
-    def connect(self, record: ResourceRecord, timeout: Optional[float] = None,
-                allow_relay: bool = True):
-        """Process: broker + punch a direct connection to ``record``'s host;
-        with ``allow_relay`` (an extension beyond the paper), peers whose
+    def connect(self, record: ResourceRecord,
+                options: Optional[ConnectOptions] = None,
+                timeout=UNSET, allow_relay=UNSET):
+        """Process: broker + punch a direct connection to ``record``'s host.
+        Behaviour is controlled by a :class:`ConnectOptions` bundle:
+        ``allow_relay`` (an extension beyond the paper) lets peers whose
         NATs defeat punching fall back to relaying through the rendezvous
-        server. Returns the established WavConnection."""
+        server; ``timeout`` overrides the punch deadline; the traversal
+        and migration knobs override the driver defaults. ``timeout=`` /
+        ``allow_relay=`` keywords are deprecated aliases. Returns the
+        established WavConnection."""
+        opts = ConnectOptions.coerce(options, "connect",
+                                     timeout=timeout, allow_relay=allow_relay)
         existing = self.connections.get(record.host_name)
         if existing is not None and existing.usable:
             return existing
@@ -385,35 +424,48 @@ class WavnetDriver(Component):
             _ConnectBody(self.name, self.connection_info(), record.host_name,
                          record.conn.rendezvous_ip, record.conn.rendezvous_port),
             timeout=10.0)
-        conn = self._ensure_connection(notice.peer_name, notice.peer_conn)
+        conn = self._ensure_connection(notice.peer_name, notice.peer_conn, opts)
         conn.start_punching()
         try:
             result = yield conn.wait_established()
         except TimeoutError:
-            if not allow_relay or self.rendezvous_ip is None:
+            if not opts.allow_relay or self.rendezvous_ip is None:
                 raise
-            conn = self._ensure_connection(notice.peer_name, notice.peer_conn)
+            conn = self._ensure_connection(notice.peer_name, notice.peer_conn, opts)
             conn.establish_relayed()
             # The first relayed pulse converts the peer's side too.
             conn.send(self.assembler.pulse())
             result = conn
         return result
 
-    def connect_by_name(self, peer_name: str, allow_relay: bool = True, **attrs):
+    def connect_by_name(self, peer_name: str,
+                        options: Optional[ConnectOptions] = None,
+                        allow_relay=UNSET, **attrs):
         """Process: query then connect to the named peer."""
+        opts = ConnectOptions.coerce(options, "connect_by_name",
+                                     allow_relay=allow_relay)
         records = yield from self.query_resources(limit=64, **attrs)
         for record in records:
             if record.host_name == peer_name:
-                conn = yield from self.connect(record, allow_relay=allow_relay)
+                conn = yield from self.connect(record, options=opts)
                 return conn
         raise RpcError(f"host {peer_name!r} not found in resource directory")
 
-    def _ensure_connection(self, peer_name: str, peer_conn: Optional[ConnectionInfo]) -> WavConnection:
+    def _ensure_connection(self, peer_name: str,
+                           peer_conn: Optional[ConnectionInfo],
+                           opts: Optional[ConnectOptions] = None) -> WavConnection:
         conn = self.connections.get(peer_name)
         if conn is None or conn.state is ConnectionState.DEAD:
+            opts = opts or ConnectOptions()
+            predict = (self.predict_ports if opts.predict_ports is None
+                       else opts.predict_ports)
+            fan = self.punch_fan if opts.punch_fan is None else opts.punch_fan
+            migrate = self.migration if opts.migrate is None else opts.migrate
             conn = WavConnection(self, peer_name, peer_conn,
                                  pulse_interval=self.pulse_interval,
-                                 punch_timeout=self.punch_timeout)
+                                 punch_timeout=opts.timeout or self.punch_timeout,
+                                 predict_ports=predict, punch_fan=fan,
+                                 migrate=migrate)
             self.connections[peer_name] = conn
         elif peer_conn is not None and conn.peer_conn is None:
             conn.peer_conn = peer_conn
@@ -432,19 +484,24 @@ class WavnetDriver(Component):
         """Plug an external L2 port (a VM's vif) into the bridge."""
         patch(port, self.bridge.new_port(f"{self.name}.br0.{label}"))
 
-    def open_transfer(self, dst_ip, nbytes: int, fidelity: str = "packet",
-                      cc: Optional[str] = None, **kwargs):
+    def open_transfer(self, dst_ip, nbytes: int,
+                      options: Optional[TransferOptions] = None,
+                      fidelity=UNSET, cc=UNSET, **kwargs):
         """Process: one bulk transfer to a virtual IP, at either
-        fidelity, behind one API. ``fidelity="packet"`` runs a real ttcp
-        over the tunnel (every frame simulated); ``"fluid"`` rides the
-        flow-level plane (requires a FluidNetwork with a registered
-        route for this host). ``cc`` names a registered
-        congestion-control algorithm for the transfer (``None`` = host
-        stack default). Returns the app-level TtcpResult."""
+        fidelity, behind one API. ``TransferOptions.fidelity="packet"``
+        runs a real ttcp over the tunnel (every frame simulated);
+        ``"fluid"`` rides the flow-level plane (requires a FluidNetwork
+        with a registered route for this host). ``cc`` names a
+        registered congestion-control algorithm for the transfer
+        (``None`` = host stack default). ``fidelity=`` / ``cc=``
+        keywords are deprecated aliases. Returns the app-level
+        TtcpResult."""
         from repro.apps.ttcp import ttcp_transfer
 
+        opts = TransferOptions.coerce(options, "open_transfer",
+                                      fidelity=fidelity, cc=cc)
         result = yield from ttcp_transfer(self.host, dst_ip, nbytes,
-                                          fidelity=fidelity, cc=cc, **kwargs)
+                                          options=opts, **kwargs)
         return result
 
     def _notify_fluid_conduit(self, peer_name: str, up: bool) -> None:
@@ -469,10 +526,15 @@ class WavnetDriver(Component):
     def _send_raw(self, endpoint: tuple[IPv4Address, int], payload: Payload) -> None:
         self.sock.sendto(endpoint[0], endpoint[1], payload)
 
-    def _send_relayed(self, peer_name: str, payload: Payload) -> None:
+    def _send_relayed(self, peer_name: str, payload: Payload,
+                      via: Optional[tuple[IPv4Address, int]] = None) -> None:
+        """Relay through a rendezvous server — ours by default, or
+        ``via`` (e.g. the *peer's* rendezvous, which is the one that
+        knows the peer's reach endpoint in multi-server deployments)."""
         self._m_relay_tx.add()
         wrapped = WavRelay(self.name, peer_name, payload.data)
-        self.sock.sendto(self.rendezvous_ip, self.rendezvous_port,
+        dst = via or (self.rendezvous_ip, self.rendezvous_port)
+        self.sock.sendto(dst[0], dst[1],
                          Payload(wrapped.size, data=wrapped, kind="wav"))
 
     def _rx_loop(self):
@@ -505,12 +567,25 @@ class WavnetDriver(Component):
                 conn = self.connections.get(body.sender)
                 if conn is not None:
                     conn.on_punch_ack(src)
+            elif isinstance(body, WavPathChallenge):
+                self._on_path_challenge(body, src)
+            elif isinstance(body, WavPathResponse):
+                self._on_path_response(body)
             elif isinstance(body, WavRelay):
                 self._m_relay_rx.add()
+                inner = body.inner
+                # Path-validation frames ride the relay for guaranteed
+                # delivery during migration; they must not flip the
+                # connection into relayed mode.
+                if isinstance(inner, WavPathChallenge):
+                    self._on_path_challenge(inner, src)
+                    continue
+                if isinstance(inner, WavPathResponse):
+                    self._on_path_response(inner)
+                    continue
                 conn = self._ensure_connection(body.sender, None)
                 if not conn.usable:
                     conn.establish_relayed()
-                inner = body.inner
                 if isinstance(inner, WavData):
                     conn.on_data(body.size)
                     self.switch.learn(inner.frame.src, conn)
@@ -529,12 +604,15 @@ class WavnetDriver(Component):
         else:
             self._relay_peers.discard(conn.peer_name)
             self._by_endpoint[conn.remote] = conn
+        self._by_cid[conn.cid] = conn
         self._notify_fluid_conduit(conn.peer_name, up=True)
 
     def _connection_dead(self, conn: WavConnection, reason: str = "closed") -> None:
         self.switch.forget_connection(conn)
         if conn.remote is not None and self._by_endpoint.get(conn.remote) is conn:
             del self._by_endpoint[conn.remote]
+        if self._by_cid.get(conn.cid) is conn:
+            del self._by_cid[conn.cid]
         if self.connections.get(conn.peer_name) is conn:
             del self.connections[conn.peer_name]
         self._notify_fluid_conduit(conn.peer_name, up=False)
@@ -595,6 +673,111 @@ class WavnetDriver(Component):
             return
         finally:
             self._repairing.pop(peer_name, None)
+
+    # -- path migration (QUIC-style, §future-work) ----------------------
+    def _start_migration(self, conn: WavConnection) -> None:
+        """Kick off path validation toward ``conn``'s peer (idempotent
+        while one is in flight)."""
+        if conn.peer_name in self._migrating or not self.running:
+            return
+        self._migrating.add(conn.peer_name)
+        self.sim.process(self._migrate(conn),
+                         name=f"wav-migrate:{self.name}->{conn.peer_name}")
+
+    def _migrate(self, conn: WavConnection):
+        """Process: re-discover our public endpoint, then challenge the
+        peer on the stable connection ID until the path validates.
+
+        The challenge travels both direct (its very transmission opens
+        our fresh NAT mapping toward the peer) and relayed through the
+        peer's rendezvous (guaranteed delivery — the peer cannot receive
+        direct traffic from our new mapping until it has sent to it).
+        On validation both sides have rebound without re-punching; on
+        timeout we leave the connection to the classic liveness-death →
+        re-punch repair loop.
+        """
+        peer = conn.peer_name
+        t0 = self.sim.now
+        self._m_migrate_attempts.add()
+        self.sim.trace.event("conn.migrate_start", host=self.name, peer=peer)
+        try:
+            # Our mapping may have moved (NAT reboot) — rediscover and
+            # re-register so relayed frames reach us at the new mapping.
+            yield from self._refresh_endpoint()
+            if not self.running or not conn.usable or conn.relayed:
+                return
+            self._migrate_token += 1
+            token = self._migrate_token
+            conn._path_token = token
+            body = WavPathChallenge(self.name, conn.cid, token,
+                                    self.public_endpoint[0],
+                                    self.public_endpoint[1])
+            payload = Payload(body.size, data=body, kind="wav")
+            via = None
+            if conn.peer_conn is not None and conn.peer_conn.rendezvous_ip.value:
+                via = (conn.peer_conn.rendezvous_ip,
+                       conn.peer_conn.rendezvous_port)
+            deadline = self.sim.now + self.migrate_timeout
+            while (self.sim.now < deadline and conn._path_token == token
+                   and conn.usable):
+                if conn.remote is not None:
+                    self._send_raw(conn.remote, payload)
+                if via is not None or self.rendezvous_ip is not None:
+                    self._send_relayed(peer, payload, via=via)
+                yield self.sim.timeout(0.25)
+            if conn._path_token == token:
+                conn._path_token = None
+                self._m_migrate_failed.add()
+                self.sim.trace.event("conn.migrate_failed", host=self.name,
+                                     peer=peer)
+                return
+            self._m_migrate_success.add()
+            self._m_migrate_seconds.observe(self.sim.now - t0)
+            self.sim.trace.event("conn.migrated", host=self.name, peer=peer,
+                                 seconds=round(self.sim.now - t0, 6))
+        except Interrupt:
+            return
+        finally:
+            self._migrating.discard(peer)
+
+    def _on_path_challenge(self, body: WavPathChallenge, src) -> None:
+        """Peer validates its (possibly new) path: adopt the claimed
+        endpoint, echo the token both direct and relayed."""
+        conn = self._by_cid.get(body.cid)
+        if conn is None or conn.peer_name != body.sender or not conn.usable:
+            return
+        if conn.relayed:
+            return  # relayed data path has no direct path to migrate
+        new_remote = (body.new_ip, body.new_port)
+        if conn.remote != new_remote:
+            if self._by_endpoint.get(conn.remote) is conn:
+                del self._by_endpoint[conn.remote]
+            conn.remote = new_remote
+            self._by_endpoint[new_remote] = conn
+            self._m_peer_moved.add()
+            self.sim.trace.event("conn.peer_moved", host=self.name,
+                                 peer=conn.peer_name,
+                                 remote=f"{new_remote[0]}:{new_remote[1]}")
+        conn.last_heard = self.sim.now
+        resp = WavPathResponse(self.name, body.cid, body.token)
+        payload = Payload(resp.size, data=resp, kind="wav")
+        # Direct reply doubles as the outbound traffic that opens our own
+        # NAT filter toward the peer's new endpoint.
+        self._send_raw(new_remote, payload)
+        via = None
+        if conn.peer_conn is not None and conn.peer_conn.rendezvous_ip.value:
+            via = (conn.peer_conn.rendezvous_ip, conn.peer_conn.rendezvous_port)
+        if via is not None or self.rendezvous_ip is not None:
+            self._send_relayed(conn.peer_name, payload, via=via)
+
+    def _on_path_response(self, body: WavPathResponse) -> None:
+        conn = self._by_cid.get(body.cid)
+        if conn is None or conn.peer_name != body.sender:
+            return
+        if conn._path_token == body.token:
+            conn._path_token = None
+            conn.migrations += 1
+            conn.last_heard = self.sim.now
 
     # -- lazy materialization support -----------------------------------
     def export_endpoint_state(self) -> dict:

@@ -182,6 +182,7 @@ class HostTable:
         self.rendezvous_port = np.zeros(capacity, dtype=np.uint16)
         self.virtual_ip = np.zeros(capacity, dtype=np.uint32)
         self.nat_code = np.zeros(capacity, dtype=np.uint8)
+        self.alloc_stride = np.zeros(capacity, dtype=np.uint16)
         self.flags = np.zeros(capacity, dtype=np.uint8)
         self.owner = np.full(capacity, -1, dtype=np.int16)
         self.region = np.full(capacity, -1, dtype=np.int16)
@@ -192,7 +193,7 @@ class HostTable:
 
     _COLUMNS = ("public_ip", "public_port", "private_ip", "private_port",
                 "reach_ip", "reach_port", "rendezvous_ip", "rendezvous_port",
-                "virtual_ip", "nat_code", "flags", "owner", "region",
+                "virtual_ip", "nat_code", "alloc_stride", "flags", "owner", "region",
                 "generation", "last_seen", "coords", "attr_values")
 
     def _grow(self, need: int) -> None:
@@ -313,6 +314,7 @@ class HostTable:
         self.reach_ip[i] = reach[0].value
         self.reach_port[i] = reach[1]
         self.nat_code[i] = _NAT_CODES[conn.nat_type]
+        self.alloc_stride[i] = conn.alloc_stride
         self.set_attrs(i, attrs)
         self.last_seen[i] = now
         self.owner[i] = owner
@@ -496,6 +498,11 @@ class HostTable:
             private_ip=IPv4Address(int(self.private_ip[i])),
             private_port=int(self.private_port[i]),
             nat_type=_NAT_TYPES[int(self.nat_code[i])],
+            alloc_stride=int(self.alloc_stride[i]),
+            # Freshest externally observed mapping: the reach endpoint is
+            # refreshed by every register/keepalive, so it is the best
+            # prediction base a broker can hand out.
+            observed_port=int(self.reach_port[i]),
         )
 
     def record(self, host_id: int,

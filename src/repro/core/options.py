@@ -1,0 +1,108 @@
+"""Typed option bundles for WAVNet's connect/transfer APIs.
+
+The driver's connect path and the traffic generators (ttcp, netperf,
+ApacheBench) grew overlapping keyword knobs — ``allow_relay=``,
+``timeout=``, ``fidelity=``, ``cc=``, and now the traversal/migration
+controls. :class:`ConnectOptions` and :class:`TransferOptions` collapse
+them into two frozen dataclasses accepted everywhere via ``options=``.
+
+The old keywords still work as deprecated aliases: passing one emits a
+:class:`DeprecationWarning` and is folded into the options bundle (an
+explicit keyword wins over the same field in ``options=``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["UNSET", "ConnectOptions", "TransferOptions"]
+
+
+class _Unset:
+    """Sentinel distinguishing "keyword not passed" from an explicit
+    ``None`` (several legacy knobs legitimately accept None)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNSET = _Unset()
+
+
+def _fold_legacy(options, cls, api: str, legacy: dict):
+    """Merge deprecated keyword aliases into an options bundle, warning
+    once per keyword actually used."""
+    base = options if options is not None else cls()
+    if not isinstance(base, cls):
+        raise TypeError(f"{api}: options= expects {cls.__name__}, "
+                        f"got {type(base).__name__}")
+    updates = {key: value for key, value in legacy.items() if value is not UNSET}
+    for key in updates:
+        warnings.warn(
+            f"{api}({key}=...) is deprecated; pass "
+            f"{api}(options={cls.__name__}({key}=...)) instead",
+            DeprecationWarning, stacklevel=4)
+    if updates:
+        base = replace(base, **updates)
+    return base
+
+
+@dataclass(frozen=True)
+class ConnectOptions:
+    """How to reach a peer.
+
+    * ``allow_relay`` — fall back to rendezvous relaying when punching
+      fails (the extension beyond the paper).
+    * ``timeout`` — per-connect hole-punch deadline (None = driver's
+      ``punch_timeout``).
+    * ``predict_ports`` — aim punches at predicted symmetric-NAT
+      allocations (None = driver default, normally on).
+    * ``punch_fan`` — width of the predicted-port window (None =
+      driver default).
+    * ``migrate`` — QUIC-style path migration on rebinds for this
+      connection (None = driver default, normally off).
+    """
+
+    allow_relay: bool = True
+    timeout: Optional[float] = None
+    predict_ports: Optional[bool] = None
+    punch_fan: Optional[int] = None
+    migrate: Optional[bool] = None
+
+    @classmethod
+    def coerce(cls, options: "Optional[ConnectOptions]", api: str,
+               **legacy) -> "ConnectOptions":
+        return _fold_legacy(options, cls, api, legacy)
+
+
+@dataclass(frozen=True)
+class TransferOptions:
+    """How to move bulk bytes once connected.
+
+    * ``fidelity`` — ``"packet"`` simulates every frame; ``"fluid"``
+      rides the flow-level plane.
+    * ``cc`` — named congestion-control algorithm (None = stack default).
+    * ``cc_trace`` — optional CcTrace sampling cwnd/rate while the
+      transfer runs (netperf only).
+    """
+
+    fidelity: str = "packet"
+    cc: Optional[str] = None
+    cc_trace: Optional[object] = None
+
+    @classmethod
+    def coerce(cls, options: "Optional[TransferOptions]", api: str,
+               **legacy) -> "TransferOptions":
+        return _fold_legacy(options, cls, api, legacy)

@@ -59,6 +59,7 @@ _SCENARIO_MODULES = (
     "repro.scenarios.storm",
     "repro.scenarios.pdes_sites",
     "repro.scenarios.fairness",
+    "repro.scenarios.traversal",
 )
 
 

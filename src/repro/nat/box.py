@@ -15,7 +15,7 @@ from dataclasses import replace
 from typing import Callable, Optional
 
 from repro.nat.mapping import MappingTable
-from repro.nat.types import NatType
+from repro.nat.types import NatType, split_nat_spec
 from repro.net.addresses import IPv4Address, IPv4Network, MacAddress
 from repro.net.packet import (
     PROTO_ICMP,
@@ -54,21 +54,35 @@ class NatBox(Router, Component):
         udp_timeout: float = 60.0,
         tcp_timeout: float = 3600.0,
         icmp_timeout: float = 30.0,
+        port_alloc: Optional[str] = None,
+        port_stride: int = 1,
     ) -> None:
         super().__init__(sim, name, mac_mint)
         Component.__init__(self, sim, "nat", name)
-        self.nat_type = NatType.parse(nat_type)
+        # Combined specs ("symmetric-sequential") carry the allocation
+        # policy; an explicit port_alloc= argument wins over the suffix.
+        parsed, spec_alloc = split_nat_spec(nat_type)
+        self.nat_type = parsed
         if self.nat_type is NatType.OPEN:
             raise ValueError("NatBox cannot model an OPEN (no-NAT) path")
+        if port_alloc is None:
+            port_alloc = spec_alloc
+        # Per-box deterministic RNG stream: allocation order depends only
+        # on the box name, never on global draw order.
         port_rng = sim.rng.stream(f"nat.ports.{name}")
         metrics = sim.metrics.scope(f"nat.{name}")
         self.metrics = metrics
         self.udp_mappings = MappingTable(self.nat_type, udp_timeout, port_rng=port_rng,
-                                         metrics=metrics.scope("udp"))
+                                         metrics=metrics.scope("udp"),
+                                         port_alloc=port_alloc, port_stride=port_stride)
         self.tcp_mappings = MappingTable(self.nat_type, tcp_timeout, first_port=30000,
-                                         port_rng=port_rng, metrics=metrics.scope("tcp"))
+                                         port_rng=port_rng, metrics=metrics.scope("tcp"),
+                                         port_alloc=port_alloc, port_stride=port_stride)
         self.icmp_mappings = MappingTable(self.nat_type, icmp_timeout, first_port=40000,
-                                          port_rng=port_rng, metrics=metrics.scope("icmp"))
+                                          port_rng=port_rng, metrics=metrics.scope("icmp"),
+                                          port_alloc=port_alloc, port_stride=port_stride)
+        self.port_alloc = self.udp_mappings.port_alloc
+        self.port_stride = self.udp_mappings.port_stride
         self.inside: Optional[Interface] = None
         self.outside: Optional[Interface] = None
         self.inside_network: Optional[IPv4Network] = None

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import enum
+from typing import Optional
 
-__all__ = ["NatType"]
+__all__ = ["NatType", "split_nat_spec"]
 
 
 class NatType(enum.Enum):
@@ -41,6 +42,10 @@ class NatType(enum.Enum):
         return self is not NatType.SYMMETRIC
 
     @property
+    def per_destination_mapping(self) -> bool:
+        return self is NatType.SYMMETRIC
+
+    @property
     def hole_punchable(self) -> bool:
         """Whether WAVNet's UDP hole punching works against this type
         (assuming the peer is at most port-restricted)."""
@@ -50,3 +55,27 @@ class NatType(enum.Enum):
             NatType.RESTRICTED_CONE,
             NatType.PORT_RESTRICTED,
         )
+
+
+#: Port-allocation policy suffixes accepted in combined NAT specs such as
+#: ``"symmetric-sequential"`` (see :func:`split_nat_spec`).
+PORT_ALLOC_POLICIES = ("sequential", "stride", "random")
+
+
+def split_nat_spec(value: "NatType | str") -> tuple[NatType, Optional[str]]:
+    """Split a NAT spec into ``(NatType, port_alloc | None)``.
+
+    Scenario configs name symmetric variants by allocation policy —
+    ``"symmetric-sequential"``, ``"symmetric-stride"``,
+    ``"symmetric-random"`` — because the policy decides whether port
+    prediction can traverse the NAT. Plain specs (``"port-restricted"``,
+    ``NatType.SYMMETRIC``) pass through with ``None`` (the table's
+    default policy applies).
+    """
+    if isinstance(value, NatType):
+        return value, None
+    for policy in PORT_ALLOC_POLICIES:
+        suffix = f"-{policy}"
+        if isinstance(value, str) and value.endswith(suffix):
+            return NatType.parse(value[: -len(suffix)]), policy
+    return NatType.parse(value), None

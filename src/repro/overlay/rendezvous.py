@@ -26,7 +26,7 @@ collapse).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
@@ -447,10 +447,17 @@ class RendezvousServer(Component):
         return run()
 
     # -- connection brokering (Fig 3 steps 2-3) ------------------------------
-    def _on_connect(self, body: _ConnectBody, _src_ip, _src_port):
+    def _on_connect(self, body: _ConnectBody, src_ip, src_port):
         """Requester's rendezvous (node A): exchange info with node B."""
         self.connects_brokered += 1
         self._m_brokered.add()
+        # Stamp the requester's *live* mapping (the source of this very
+        # RPC) as the prediction base. The STUN-time public_port is stale
+        # for symmetric NATs — every flow since has advanced the
+        # allocator — so peers predict from the freshest observation.
+        if src_ip == body.requester_conn.public_ip:
+            body = replace(body, requester_conn=replace(
+                body.requester_conn, observed_port=src_port))
 
         def run():
             if (body.target_rendezvous_ip == self.ip

@@ -49,7 +49,15 @@ class ResourceSpec:
 @dataclass(frozen=True)
 class ConnectionInfo:
     """Everything a peer needs to initiate hole punching to this host:
-    the host's rendezvous server and the STUN-discovered NAT 2-tuple."""
+    the host's rendezvous server and the STUN-discovered NAT 2-tuple.
+
+    ``alloc_stride`` carries the STUN-inferred symmetric port-allocation
+    stride (0 = unpredictable; prediction disabled). ``observed_port`` is
+    the host's *freshest* externally observed mapping — stamped by the
+    rendezvous from live traffic at brokering time — which peers use as
+    the base for predicted-port punching; 0 means "none observed, fall
+    back to public_port".
+    """
 
     rendezvous_ip: IPv4Address
     rendezvous_port: int
@@ -58,9 +66,15 @@ class ConnectionInfo:
     private_ip: IPv4Address
     private_port: int
     nat_type: NatType
+    alloc_stride: int = 0
+    observed_port: int = 0
 
     @property
     def size(self) -> int:
+        # Wire size is pinned: the two prediction fields pack into the
+        # same 32-byte record (stride is a byte, observed port 2 bytes,
+        # absorbed by existing padding), keeping packet timing identical
+        # for scenarios that never exercise prediction.
         return 32
 
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 import math
 
 from repro.apps.netperf import netperf_stream, netserver
+from repro.core.options import TransferOptions
 from repro.exp.spec import scenario
 from repro.net.cc import cc_class
 from repro.scenarios.fluid import fluidify, wire_overhead_for
@@ -117,8 +118,9 @@ def fairness_bottleneck(seed: int = 0, stack: str = "wavnet",
         yield sim.timeout(i * stagger)
         result = yield from netperf_stream(
             pair.host_a, pair.ip_b, duration=duration, interval=interval,
-            fidelity=fidelity, cc=ccs[i],
-            cc_trace=labels[i] if fidelity == "packet" else None)
+            options=TransferOptions(
+                fidelity=fidelity, cc=ccs[i],
+                cc_trace=labels[i] if fidelity == "packet" else None))
         return result
 
     for i in range(n_flows):
@@ -218,8 +220,9 @@ def fairness_parking_lot(seed: int = 0, cc: str = "cubic", n_hops: int = 3,
         yield sim.timeout(i * 0.5)
         result = yield from netperf_stream(
             hosts[src], ips[dst], duration=duration, interval=interval,
-            fidelity=fidelity, cc=ccs[i],
-            cc_trace=labels[i] if fidelity == "packet" else None)
+            options=TransferOptions(
+                fidelity=fidelity, cc=ccs[i],
+                cc_trace=labels[i] if fidelity == "packet" else None))
         return result
 
     for i, (src, dst) in enumerate(flows):
@@ -272,7 +275,8 @@ def fairness_mix(seed: int = 0, stack: str = "wavnet", cc: str = "cubic",
 
     elephants = [sim.process(
         netperf_stream(pair.host_a, pair.ip_b, duration=duration,
-                       fidelity=fidelity, cc=e_ccs[i]),
+                       options=TransferOptions(fidelity=fidelity,
+                                               cc=e_ccs[i])),
         name=f"elephant{i}") for i in range(n_elephants)]
 
     fcts: list[float] = []
@@ -282,7 +286,8 @@ def fairness_mix(seed: int = 0, stack: str = "wavnet", cc: str = "cubic",
         t0 = sim.now
         try:
             yield from ttcp_transfer(pair.host_a, pair.ip_b, mice_kb * 1024,
-                                     fidelity=fidelity, cc=m_cc)
+                                     options=TransferOptions(
+                                         fidelity=fidelity, cc=m_cc))
         except Exception:
             mice_failed[0] += 1
             return

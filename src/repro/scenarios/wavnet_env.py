@@ -161,10 +161,16 @@ class WavnetEnvironment:
         tcp_send_buf: int = 262144,
         tcp_recv_buf: int = 262144,
         cpu_factor: float = 1.0,
+        port_alloc: Optional[str] = None,
+        port_stride: int = 1,
         **driver_kwargs,
     ) -> WavnetHost:
         """Add one desktop host (behind its own NAT unless ``public``):
-        reserve its directory row, then build the full object stack."""
+        reserve its directory row, then build the full object stack.
+
+        ``nat_type`` accepts combined specs like ``"symmetric-sequential"``
+        naming the NAT's port-allocation policy; ``port_alloc=`` /
+        ``port_stride=`` override it explicitly."""
         self.add_endpoint(name, nat_type=nat_type,
                           rendezvous_index=rendezvous_index,
                           access_bandwidth_bps=access_bandwidth_bps,
@@ -173,6 +179,7 @@ class WavnetEnvironment:
                           pulse_interval=pulse_interval, public=public,
                           tcp_mss=tcp_mss, tcp_send_buf=tcp_send_buf,
                           tcp_recv_buf=tcp_recv_buf, cpu_factor=cpu_factor,
+                          port_alloc=port_alloc, port_stride=port_stride,
                           **driver_kwargs)
         return self._build_host(name)
 
@@ -207,7 +214,8 @@ class WavnetEnvironment:
                    access_bandwidth_bps=100e6, access_latency=0.0005,
                    udp_timeout=60.0, attrs=None, pulse_interval=5.0,
                    public=False, tcp_mss=1460, tcp_send_buf=262144,
-                   tcp_recv_buf=262144, cpu_factor=1.0)
+                   tcp_recv_buf=262144, cpu_factor=1.0,
+                   port_alloc=None, port_stride=1)
         driver_kwargs = {k: v for k, v in site_config.items() if k not in cfg}
         cfg.update({k: v for k, v in site_config.items() if k in cfg})
         cfg["rendezvous_index"] = rendezvous_index
@@ -250,6 +258,8 @@ class WavnetEnvironment:
                 access_bandwidth_bps=cfg["access_bandwidth_bps"],
                 access_latency=cfg["access_latency"],
                 udp_timeout=cfg["udp_timeout"],
+                port_alloc=cfg.get("port_alloc"),
+                port_stride=cfg.get("port_stride", 1),
                 **stack_kwargs)
             host = site.hosts[0]
         # Every other rendezvous server is a registration failover

@@ -27,12 +27,19 @@ __all__ = ["StunClient", "StunProbeResult"]
 
 @dataclass
 class StunProbeResult:
-    """Outcome of a full classification run."""
+    """Outcome of a full classification run.
+
+    ``alloc_stride`` is the inferred symmetric port-allocation stride:
+    three consecutive allocations with equal deltas (Ford et al.'s
+    predictability test) yield the delta; 0 means unpredictable or not
+    symmetric, and peers will not attempt port prediction.
+    """
 
     nat_type: NatType
     mapped_ip: Optional[IPv4Address]
     mapped_port: Optional[int]
     blocked: bool = False
+    alloc_stride: int = 0
 
     @property
     def public_endpoint(self) -> tuple[IPv4Address, int]:
@@ -126,11 +133,34 @@ class StunClient:
         if test1b is None:
             # Alternate server unreachable: fall back conservatively.
             return StunProbeResult(NatType.SYMMETRIC, *mapped)
-        if (test1b.mapped_ip, test1b.mapped_port) != mapped:
-            return StunProbeResult(NatType.SYMMETRIC, *mapped)
+        alt_mapped = (test1b.mapped_ip, test1b.mapped_port)
+        if alt_mapped != mapped:
+            stride = yield from self._infer_stride(mapped, alt_mapped, test1)
+            return StunProbeResult(NatType.SYMMETRIC, *mapped, alloc_stride=stride)
 
         test3 = yield from self._request(self.server_ip, self.server_port,
                                          change_port=True)
         if test3 is not None:
             return StunProbeResult(NatType.RESTRICTED_CONE, *mapped)
         return StunProbeResult(NatType.PORT_RESTRICTED, *mapped)
+
+    def _infer_stride(self, mapped, alt_mapped, test1: StunResponse):
+        """Process: allocation-inference probe for symmetric NATs.
+
+        Tests I and I' already produced two consecutive allocations (the
+        mapping toward the primary and alternate server addresses). One
+        more binding request to a third server endpoint — the primary IP
+        on the alternate port — yields a third. Equal deltas across the
+        three mean a sequential/stride allocator; anything else (random
+        allocation, a multi-homed NAT that moved IPs) is unpredictable.
+        """
+        if alt_mapped[0] != mapped[0]:
+            return 0
+        test1c = yield from self._request(self.server_ip, test1.changed_port)
+        if test1c is None:
+            return 0
+        d1 = alt_mapped[1] - mapped[1]
+        d2 = test1c.mapped_port - alt_mapped[1]
+        if d1 == d2 and 0 < d1 <= 256:
+            return d1
+        return 0

@@ -16,6 +16,7 @@ import math
 
 import pytest
 
+from repro.core.options import TransferOptions
 from repro.net.addresses import IPv4Address, mac_factory
 from repro.net.cc import (BbrCC, CubicCC, RenoCC, cc_class, cc_names,
                           mathis_rate_bps, slow_start_rounds)
@@ -153,7 +154,9 @@ class TestExtractionGoldens:
         sim = pair.sim
         fluidify(pair)
         tx = sim.process(ttcp_transfer(pair.host_a, pair.ip_b,
-                                       2 * 1024 * 1024, fidelity="fluid"))
+                                       2 * 1024 * 1024,
+                                       options=TransferOptions(
+                                           fidelity="fluid")))
         sim.run(until=tx)
         assert sim.events_dispatched == 724
         assert sim.now == 8.074181891091174
@@ -168,7 +171,8 @@ class TestExtractionGoldens:
         sim = pair.sim
         fluidify(pair)
         ab = ApacheBench(pair.host_a, pair.ip_b, path="/file8k",
-                         concurrency=4, fidelity="fluid")
+                         concurrency=4,
+                         options=TransferOptions(fidelity="fluid"))
         p = sim.process(ab.run_requests(60))
         sim.run(until=p)
         assert sim.events_dispatched == 484
@@ -256,12 +260,13 @@ class TestCcThreading:
         a, b, _ = host_pair(sim)
         sim.process(ttcp_receiver(b))
         tx = sim.process(ttcp_transfer(a, IPv4Address("10.0.0.2"), 100_000,
-                                       cc="reno"))
+                                       options=TransferOptions(cc="reno")))
         sim.run(until=tx)
         assert tx.value.rate_kbps > 0
         sim.process(netserver(b))
         p = sim.process(netperf_stream(a, IPv4Address("10.0.0.2"),
-                                       duration=1.0, cc="bbr"))
+                                       duration=1.0,
+                                       options=TransferOptions(cc="bbr")))
         sim.run(until=p)
         assert p.value.throughput_mbps > 0
 
@@ -282,7 +287,9 @@ class TestCcThreading:
         a, b, _ = host_pair(sim)
         sim.process(netserver(b))
         p = sim.process(netperf_stream(a, IPv4Address("10.0.0.2"),
-                                       duration=1.0, cc_trace="probe"))
+                                       duration=1.0,
+                                       options=TransferOptions(
+                                           cc_trace="probe")))
         sim.run(until=p)
         name = a.stack.name
         cwnd = sim.metrics.series(f"{name}.tcp.probe.cwnd").values

@@ -4,6 +4,7 @@ rendezvous layer, L2 tunneling, keepalive, and the virtual LAN."""
 import pytest
 
 from repro.core.connection import ConnectionState
+from repro.core.options import ConnectOptions
 from repro.net.icmp import Pinger
 from repro.net.tcp import drain_bytes, stream_bytes
 from repro.scenarios.wavnet_env import WavnetEnvironment
@@ -67,7 +68,8 @@ class TestConnectionSetup:
             records = yield from driver.query_resources(limit=8)
             target = next(r for r in records if r.host_name == "h1")
             try:
-                yield from driver.connect(target, allow_relay=False)
+                yield from driver.connect(
+                    target, options=ConnectOptions(allow_relay=False))
                 return "connected"
             except TimeoutError:
                 return "failed"

@@ -15,6 +15,7 @@ from repro.apps.ab import ApacheBench
 from repro.apps.httpd import HttpServer
 from repro.apps.netperf import netperf_stream, netserver
 from repro.apps.ttcp import ttcp_receiver, ttcp_transfer
+from repro.core.options import TransferOptions
 from repro.faults.injector import FaultInjector
 from repro.net.fluid import FluidAborted
 from repro.scenarios.fluid import _find_link, fluidify
@@ -33,7 +34,8 @@ def _run_ttcp(pair, nbytes, fidelity):
     else:
         pair.sim.process(ttcp_receiver(pair.host_b))
     proc = pair.sim.process(ttcp_transfer(pair.host_a, pair.ip_b, nbytes,
-                                          fidelity=fidelity))
+                                          options=TransferOptions(
+                                              fidelity=fidelity)))
     pair.sim.run(until=proc)
     return proc.value, pair.sim.events_dispatched
 
@@ -58,8 +60,9 @@ def test_netperf_fluid_matches_packet_wavnet():
             fluidify(pair)
         else:
             pair.sim.process(netserver(pair.host_b))
-        proc = pair.sim.process(netperf_stream(pair.host_a, pair.ip_b,
-                                               duration=2.0, fidelity=fidelity))
+        proc = pair.sim.process(netperf_stream(
+            pair.host_a, pair.ip_b, duration=2.0,
+            options=TransferOptions(fidelity=fidelity)))
         pair.sim.run(until=proc)
         results[fidelity] = proc.value.throughput_mbps
     assert results["fluid"] == pytest.approx(results["packet"], rel=0.10)
@@ -74,7 +77,8 @@ def test_ab_fluid_matches_packet_wavnet():
         else:
             HttpServer(pair.host_b)
         ab = ApacheBench(pair.host_a, pair.ip_b, path="/file8k",
-                         concurrency=4, fidelity=fidelity)
+                         concurrency=4,
+                         options=TransferOptions(fidelity=fidelity))
         proc = pair.sim.process(ab.run_requests(24))
         pair.sim.run(until=proc)
         report = proc.value
@@ -102,7 +106,8 @@ def test_driver_open_transfer_one_api():
             pair.sim.process(ttcp_receiver(pair.host_b))
         driver = pair.env.hosts["wa"].driver
         proc = pair.sim.process(
-            driver.open_transfer(pair.ip_b, MB, fidelity=fidelity))
+            driver.open_transfer(pair.ip_b, MB,
+                                 options=TransferOptions(fidelity=fidelity)))
         pair.sim.run(until=proc)
         elapsed[fidelity] = proc.value.elapsed
     assert elapsed["fluid"] == pytest.approx(elapsed["packet"], rel=0.15)

@@ -2,6 +2,8 @@
 batched registration, retry coalescing, table-resident fault verbs,
 and the lazy materialize/demote lifecycle."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -43,7 +45,9 @@ def test_register_row_roundtrip():
     assert row.name == "h0"
     assert row.registered and not row.materialized
     assert row.last_seen == 1.5
-    assert row.conn == _conn()
+    # The table stamps the freshest observed mapping (the reach port)
+    # into rebuilt ConnectionInfos for predicted-port punching.
+    assert row.conn == replace(_conn(), observed_port=_reach()[1])
     # Exact attrs survive (no float32 round-trip; ints stay ints).
     assert row.attrs == attrs
     assert table.lookup("h0") == host_id

@@ -1,0 +1,55 @@
+"""Symmetric-NAT traversal and path migration (DESIGN.md §16).
+
+The full NAT×NAT matrix — which cells punch direct (classically or via
+the predicted-port fan) and which fall back to relay — plus the
+QUIC-style migration path: a NAT reboot under an established tunnel
+heals by path validation in well under the re-punch repair loop's time.
+"""
+
+import pytest
+
+from repro.scenarios.traversal import (NAT_SPECS, expected_direct,
+                                       migration_repair, traversal_pair)
+
+
+@pytest.mark.parametrize("nat_a", NAT_SPECS)
+@pytest.mark.parametrize("nat_b", NAT_SPECS)
+def test_traversal_matrix_cell(nat_a, nat_b):
+    sim, p = traversal_pair(seed=3, nat_a=nat_a, nat_b=nat_b, settle=0.0)
+    want_direct = expected_direct(nat_a, nat_b)
+    assert p["usable"], f"{nat_a} x {nat_b}: no usable connection at all"
+    assert p["direct"] == want_direct, (
+        f"{nat_a} x {nat_b}: direct={p['direct']}, expected {want_direct}")
+    assert p["relayed"] == (not want_direct)
+
+
+def test_sequential_symmetric_stride_is_inferred():
+    sim, p = traversal_pair(seed=3, nat_a="symmetric-sequential",
+                            nat_b="port-restricted", settle=0.0)
+    assert p["stride_a"] == 1   # STUN allocation-inference probe
+    assert p["stride_b"] == 0   # cone NATs advertise no stride
+
+
+def test_prediction_off_relays_symmetric_cells():
+    """The predicted-port fan is what punches sym↔sym(sequential);
+    with prediction disabled the cell degrades to the seed's relay."""
+    sim, p = traversal_pair(seed=3, nat_a="symmetric-sequential",
+                            nat_b="symmetric-sequential",
+                            predict_ports=False, settle=0.0)
+    assert p["usable"] and p["relayed"] and not p["direct"]
+
+
+def test_nat_reboot_migrates_without_repunch():
+    sim, p = migration_repair(seed=5, migration=True)
+    assert p["healed_by_migration"], "expected path migration to heal the pair"
+    assert p["repunches"] == 0, "migration arm should never re-punch"
+    assert p["usable"] and not p["relayed_after"]
+    assert p["repair_seconds"][0] < 2.0
+
+
+def test_nat_reboot_repunch_baseline_is_slower():
+    _, mig = migration_repair(seed=5, migration=True)
+    _, base = migration_repair(seed=5, migration=False)
+    assert base["healed"] and not base["healed_by_migration"]
+    assert base["usable"]
+    assert base["repair_seconds"][0] > mig["repair_seconds"][0]
